@@ -1,0 +1,50 @@
+// Ablation A3: the paper's §7 extensions —
+//  (i) Clove-Latency: one-way path delay instead of ECN as the signal,
+//  (ii) non-overlay mode: five-tuple rewriting instead of STT encapsulation.
+// Both compared against stock Clove-ECN on the asymmetric fabric.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace clove;
+  const auto scale = harness::BenchScale::from_env();
+  bench::print_header("Ablation A3 - §7 extensions (latency signal, non-overlay)",
+                      "CoNEXT'17 Clove §7", scale);
+
+  struct Variant {
+    const char* label;
+    harness::Scheme scheme;
+    bool non_overlay;
+  };
+  const std::vector<Variant> variants = {
+      {"Clove-ECN (overlay)", harness::Scheme::kCloveEcn, false},
+      {"Clove-ECN (non-overlay)", harness::Scheme::kCloveEcn, true},
+      {"Clove-Latency", harness::Scheme::kCloveLatency, false},
+      {"Edge-Flowlet", harness::Scheme::kEdgeFlowlet, false},
+  };
+  const auto loads = bench::default_loads({0.3, 0.5, 0.7});
+
+  stats::Table table([&] {
+    std::vector<std::string> h{"load%"};
+    for (const auto& v : variants) h.push_back(v.label);
+    return h;
+  }());
+
+  for (double load : loads) {
+    std::vector<std::string> row{stats::Table::fmt(load * 100, 0)};
+    for (const auto& v : variants) {
+      harness::ExperimentConfig cfg = harness::make_testbed_profile();
+      cfg.scheme = v.scheme;
+      cfg.non_overlay = v.non_overlay;
+      cfg.asymmetric = true;
+      auto r = bench::run_point(cfg, load, scale);
+      row.push_back(stats::Table::fmt(r.avg_fct_s));
+    }
+    table.add_row(row);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\navg FCT (seconds):\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation A1 (paper §8 discussion): where should flowlets live?
+// Edge-Flowlet (hypervisor, random port per flowlet) vs LetFlow-style
+// in-switch flowlets vs Clove-ECN (hypervisor + congestion feedback), on the
+// asymmetric fabric. LetFlow and Edge-Flowlet both adapt implicitly via
+// flowlet-size elasticity; Clove's explicit feedback should still lead.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace clove;
+  const auto scale = harness::BenchScale::from_env();
+  bench::print_header(
+      "Ablation A1 - edge flowlets vs in-switch flowlets (asymmetric)",
+      "CoNEXT'17 Clove §8 (LetFlow discussion)", scale);
+
+  const std::vector<harness::Scheme> schemes = {harness::Scheme::kEcmp,
+                                                harness::Scheme::kEdgeFlowlet,
+                                                harness::Scheme::kLetFlow,
+                                                harness::Scheme::kCloveEcn};
+  const auto loads = bench::default_loads({0.3, 0.5, 0.7});
+
+  stats::Table table([&] {
+    std::vector<std::string> h{"load%"};
+    for (auto s : schemes) h.push_back(harness::scheme_name(s));
+    return h;
+  }());
+
+  for (double load : loads) {
+    std::vector<std::string> row{stats::Table::fmt(load * 100, 0)};
+    for (auto s : schemes) {
+      harness::ExperimentConfig cfg = harness::make_ns2_profile();
+      cfg.scheme = s;
+      cfg.asymmetric = true;
+      auto r = bench::run_point(cfg, load, scale);
+      row.push_back(stats::Table::fmt(r.avg_fct_s));
+    }
+    table.add_row(row);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\navg FCT (seconds):\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation A2: sensitivity of Clove-ECN's control loop beyond Fig. 6 —
+// (i) the weight reduction factor ("e.g., by a third", §3.2) and
+// (ii) the receiver-side ECN relay interval ("half the RTT", §3.2/§4).
+// Run on the asymmetric fabric at a fixed high load.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace clove;
+  const auto scale = harness::BenchScale::from_env();
+  bench::print_header(
+      "Ablation A2 - Clove-ECN reduce factor & ECN relay interval",
+      "CoNEXT'17 Clove §3.2/§4 design choices", scale);
+
+  const double load = 0.7;
+
+  std::printf("weight reduction factor sweep (asymmetric, %.0f%% load):\n",
+              load * 100);
+  stats::Table t1({"reduce factor", "avg FCT (s)", "p99 FCT (s)"});
+  for (double rf : {1.0 / 6.0, 1.0 / 3.0, 1.0 / 2.0, 0.9}) {
+    harness::ExperimentConfig cfg = harness::make_testbed_profile();
+    cfg.scheme = harness::Scheme::kCloveEcn;
+    cfg.asymmetric = true;
+    cfg.clove_reduce_factor = rf;
+    auto r = bench::run_point(cfg, load, scale);
+    t1.add_row({stats::Table::fmt(rf, 3), stats::Table::fmt(r.avg_fct_s),
+                stats::Table::fmt(r.p99_fct_s)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  t1.print();
+
+  std::printf("\nECN relay interval sweep (paper recommends ~RTT/2 = 25us):\n");
+  stats::Table t2({"relay interval", "avg FCT (s)", "p99 FCT (s)"});
+  for (sim::Time relay : {10 * sim::kMicrosecond, 25 * sim::kMicrosecond,
+                          50 * sim::kMicrosecond, 200 * sim::kMicrosecond,
+                          1000 * sim::kMicrosecond}) {
+    harness::ExperimentConfig cfg = harness::make_testbed_profile();
+    cfg.scheme = harness::Scheme::kCloveEcn;
+    cfg.asymmetric = true;
+    cfg.feedback_relay_interval = relay;
+    auto r = bench::run_point(cfg, load, scale);
+    t2.add_row({sim::format_time(relay), stats::Table::fmt(r.avg_fct_s),
+                stats::Table::fmt(r.p99_fct_s)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  t2.print();
+  return 0;
+}

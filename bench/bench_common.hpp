@@ -1,0 +1,74 @@
+#pragma once
+
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Scale knobs (environment):
+//   CLOVE_JOBS   jobs per connection   (default 40; paper §5 used 50000)
+//   CLOVE_SEEDS  seeds averaged        (default 1;  paper used 3)
+//   CLOVE_CONNS  connections/client    (default 2;  §6 used 3)
+//
+// Each binary prints the same rows/series as the corresponding figure in the
+// paper; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "stats/stats.hpp"
+#include "workload/client_server.hpp"
+
+namespace clove::bench {
+
+struct SweepResult {
+  double avg_fct_s{0.0};
+  double mice_avg_fct_s{0.0};
+  double elephant_avg_fct_s{0.0};
+  double p99_fct_s{0.0};
+  std::shared_ptr<stats::FctRecorder> fct;  ///< from the last seed
+};
+
+/// Run one (scheme, load) point averaged over `seeds` seeds.
+inline SweepResult run_point(harness::ExperimentConfig cfg, double load,
+                             const harness::BenchScale& scale) {
+  workload::ClientServerConfig wl;
+  wl.load = load;
+  wl.jobs_per_conn = scale.jobs_per_conn;
+  wl.conns_per_client = scale.conns_per_client;
+
+  SweepResult out;
+  for (int s = 0; s < scale.seeds; ++s) {
+    cfg.seed = static_cast<std::uint64_t>(s) * 7919 + 1;
+    auto r = harness::run_fct_experiment(cfg, wl);
+    out.avg_fct_s += r.avg_fct_s / scale.seeds;
+    out.mice_avg_fct_s += r.mice_avg_fct_s / scale.seeds;
+    out.elephant_avg_fct_s += r.elephant_avg_fct_s / scale.seeds;
+    out.p99_fct_s += r.p99_fct_s / scale.seeds;
+    out.fct = r.fct;
+  }
+  return out;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref,
+                         const harness::BenchScale& scale) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf(
+      "scale: %d jobs/conn x %d conns/client x %d seed(s)   "
+      "(CLOVE_JOBS / CLOVE_CONNS / CLOVE_SEEDS to change)\n\n",
+      scale.jobs_per_conn, scale.conns_per_client, scale.seeds);
+}
+
+/// The ratio "X captures this fraction of the ECMP->CONGA gain" used by the
+/// paper's §6 headline claims (80% for Clove-ECN, 95% for Clove-INT).
+inline double capture_fraction(double ecmp, double x, double conga) {
+  const double gain = ecmp - conga;
+  if (gain <= 0.0) return 1.0;
+  return (ecmp - x) / gain;
+}
+
+inline std::vector<double> default_loads(std::initializer_list<double> loads) {
+  return std::vector<double>(loads);
+}
+
+}  // namespace clove::bench

@@ -1,0 +1,54 @@
+// Figure 4b: average FCT vs network load on the SYMMETRIC testbed topology,
+// web-search workload, schemes {ECMP, Edge-Flowlet, Clove-ECN, MPTCP,
+// Presto}. Paper's shape: all schemes comparable at low load; at high load
+// ECMP worst, Edge-Flowlet better, Clove-ECN / MPTCP / Presto neck-to-neck
+// (Clove-ECN ~2.5x below ECMP at 80%).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace clove;
+  const auto scale = harness::BenchScale::from_env();
+  bench::print_header("Fig. 4b - symmetric testbed, avg FCT vs load",
+                      "CoNEXT'17 Clove, Figure 4b", scale);
+
+  const std::vector<harness::Scheme> schemes = {
+      harness::Scheme::kEcmp, harness::Scheme::kEdgeFlowlet,
+      harness::Scheme::kCloveEcn, harness::Scheme::kMptcp,
+      harness::Scheme::kPresto};
+  const auto loads =
+      bench::default_loads({0.2, 0.4, 0.6, 0.8, 0.9});
+
+  stats::Table table([&] {
+    std::vector<std::string> h{"load%"};
+    for (auto s : schemes) h.push_back(harness::scheme_name(s));
+    return h;
+  }());
+
+  std::vector<std::vector<double>> fct(schemes.size());
+  for (double load : loads) {
+    std::vector<std::string> row{stats::Table::fmt(load * 100, 0)};
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      harness::ExperimentConfig cfg = harness::make_testbed_profile();
+      cfg.scheme = schemes[i];
+      auto r = bench::run_point(cfg, load, scale);
+      fct[i].push_back(r.avg_fct_s);
+      row.push_back(stats::Table::fmt(r.avg_fct_s));
+    }
+    table.add_row(row);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\navg FCT (seconds):\n");
+  table.print();
+
+  // Headline check (§5.1): at the highest load Clove-ECN vs ECMP and
+  // vs Edge-Flowlet (paper: 2.5x and 1.8x at 80%).
+  const std::size_t last = loads.size() - 1;
+  std::printf("\nheadlines @%.0f%% load:\n", loads[last] * 100);
+  std::printf("  ECMP / Clove-ECN         = %.2fx (paper: ~2.5x @80%%)\n",
+              fct[0][last] / fct[2][last]);
+  std::printf("  Edge-Flowlet / Clove-ECN = %.2fx (paper: ~1.8x @80%%)\n",
+              fct[1][last] / fct[2][last]);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 4c: average FCT vs load on the ASYMMETRIC testbed (one 40G S2-L2
+// link failed => 25% bisection loss), web-search workload. Paper's shape:
+// ECMP collapses past ~50% load; Presto (even with ideal static weights)
+// lags Clove-ECN by ~3.8x at 70%; Edge-Flowlet surprisingly strong (4.2x
+// better than ECMP at 80%); Clove-ECN best (7.5x over ECMP at 80%), with
+// MPTCP close behind.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace clove;
+  const auto scale = harness::BenchScale::from_env();
+  bench::print_header("Fig. 4c - asymmetric testbed, avg FCT vs load",
+                      "CoNEXT'17 Clove, Figure 4c", scale);
+
+  const std::vector<harness::Scheme> schemes = {
+      harness::Scheme::kEcmp, harness::Scheme::kEdgeFlowlet,
+      harness::Scheme::kCloveEcn, harness::Scheme::kMptcp,
+      harness::Scheme::kPresto};
+  const auto loads = bench::default_loads({0.2, 0.4, 0.5, 0.6, 0.7, 0.8});
+
+  stats::Table table([&] {
+    std::vector<std::string> h{"load%"};
+    for (auto s : schemes) h.push_back(harness::scheme_name(s));
+    return h;
+  }());
+
+  std::vector<std::vector<double>> fct(schemes.size());
+  for (double load : loads) {
+    std::vector<std::string> row{stats::Table::fmt(load * 100, 0)};
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      harness::ExperimentConfig cfg = harness::make_testbed_profile();
+      cfg.scheme = schemes[i];
+      cfg.asymmetric = true;
+      auto r = bench::run_point(cfg, load, scale);
+      fct[i].push_back(r.avg_fct_s);
+      row.push_back(stats::Table::fmt(r.avg_fct_s));
+    }
+    table.add_row(row);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\navg FCT (seconds):\n");
+  table.print();
+
+  const std::size_t last = loads.size() - 1;
+  const std::size_t at70 = loads.size() - 2;
+  std::printf("\nheadlines:\n");
+  std::printf("  @%.0f%%: ECMP / Clove-ECN         = %.2fx (paper: ~7.5x @80%%)\n",
+              loads[last] * 100, fct[0][last] / fct[2][last]);
+  std::printf("  @%.0f%%: ECMP / Edge-Flowlet      = %.2fx (paper: ~4.2x @80%%)\n",
+              loads[last] * 100, fct[0][last] / fct[1][last]);
+  std::printf("  @%.0f%%: Edge-Flowlet / Clove-ECN = %.2fx (paper: ~2x @80%%)\n",
+              loads[last] * 100, fct[1][last] / fct[2][last]);
+  std::printf("  @%.0f%%: Presto / Clove-ECN       = %.2fx (paper: ~3.8x @70%%)\n",
+              loads[at70] * 100, fct[4][at70] / fct[2][at70]);
+  std::printf("  @%.0f%%: ECMP / Presto            = %.2fx (paper: ~1.8x @70%%)\n",
+              loads[at70] * 100, fct[0][at70] / fct[4][at70]);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 6: Clove-ECN parameter sensitivity on the asymmetric testbed.
+// Settings (flowlet gap, ECN threshold): the paper's best (1xRTT, 20 pkts)
+// vs too-small gap (0.2xRTT -> per-packet-like spraying, reordering), too
+// large gap (5xRTT -> elephant flowlet collisions) and too-high ECN
+// threshold (40 pkts -> slow congestion detection).
+//
+// The fabric's base RTT in this simulator is ~50us (see DESIGN.md).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace clove;
+  const auto scale = harness::BenchScale::from_env();
+  bench::print_header("Fig. 6 - Clove-ECN parameter sensitivity, asymmetric",
+                      "CoNEXT'17 Clove, Figure 6", scale);
+
+  constexpr sim::Time kRtt = 50 * sim::kMicrosecond;
+  struct Setting {
+    const char* label;
+    sim::Time gap;
+    std::int64_t ecn_pkts;
+  };
+  const std::vector<Setting> settings = {
+      {"Clove-best (1*RTT, 20pkts)", kRtt, 20},
+      {"Clove (0.2*RTT, 20pkts)", kRtt / 5, 20},
+      {"Clove (5*RTT, 20pkts)", 5 * kRtt, 20},
+      {"Clove (1*RTT, 40pkts)", kRtt, 40},
+  };
+  const auto loads = bench::default_loads({0.4, 0.6, 0.8});
+
+  stats::Table table([&] {
+    std::vector<std::string> h{"load%"};
+    for (const auto& s : settings) h.push_back(s.label);
+    return h;
+  }());
+
+  std::vector<std::vector<double>> fct(settings.size());
+  for (double load : loads) {
+    std::vector<std::string> row{stats::Table::fmt(load * 100, 0)};
+    for (std::size_t i = 0; i < settings.size(); ++i) {
+      harness::ExperimentConfig cfg = harness::make_testbed_profile();
+      cfg.scheme = harness::Scheme::kCloveEcn;
+      cfg.asymmetric = true;
+      cfg.flowlet_gap = settings[i].gap;
+      cfg.ecn_threshold_pkts = settings[i].ecn_pkts;
+      auto r = bench::run_point(cfg, load, scale);
+      fct[i].push_back(r.avg_fct_s);
+      row.push_back(stats::Table::fmt(r.avg_fct_s));
+    }
+    table.add_row(row);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\navg FCT (seconds):\n");
+  table.print();
+
+  const std::size_t last = loads.size() - 1;
+  std::printf("\nheadlines @%.0f%% (paper: ~5x degradation at 0.2*RTT, ~4x at "
+              "40-pkt threshold):\n",
+              loads[last] * 100);
+  std::printf("  (0.2*RTT) / best = %.2fx\n", fct[1][last] / fct[0][last]);
+  std::printf("  (5*RTT)   / best = %.2fx\n", fct[2][last] / fct[0][last]);
+  std::printf("  (40pkts)  / best = %.2fx\n", fct[3][last] / fct[0][last]);
+  return 0;
+}

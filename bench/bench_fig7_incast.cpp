@@ -1,0 +1,73 @@
+// Figure 7: incast (partition-aggregate) workload — client goodput vs
+// request fan-in for {Clove-ECN, Edge-Flowlet, MPTCP}. A client requests a
+// 10 MB object split over n servers that respond simultaneously.
+//
+// Paper's shape: Clove-ECN and Edge-Flowlet sustain high goodput across
+// fan-ins (relying on the unmodified single-stream TCP), while MPTCP
+// degrades steeply with fan-in because its N subflows ramp up together and
+// multiply the burst pressure on the client access link (~1.9x worse at
+// fanout 10, ~3.4x at 16).
+
+#include <cstdlib>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace clove;
+  const auto scale = harness::BenchScale::from_env();
+  bench::print_header("Fig. 7 - incast goodput vs request fan-in",
+                      "CoNEXT'17 Clove, Figure 7", scale);
+
+  const char* env_req = std::getenv("CLOVE_INCAST_REQUESTS");
+  const int requests = env_req ? std::atoi(env_req) : 60;
+
+  const std::vector<harness::Scheme> schemes = {harness::Scheme::kCloveEcn,
+                                                harness::Scheme::kEdgeFlowlet,
+                                                harness::Scheme::kMptcp};
+  const std::vector<int> fanouts = {1, 3, 5, 7, 9, 11, 13, 15};
+
+  stats::Table table([&] {
+    std::vector<std::string> h{"fan-in"};
+    for (auto s : schemes) h.push_back(harness::scheme_name(s));
+    return h;
+  }());
+
+  std::vector<std::vector<double>> tput(schemes.size());
+  for (int fanout : fanouts) {
+    std::vector<std::string> row{std::to_string(fanout)};
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      harness::ExperimentConfig cfg = harness::make_testbed_profile();
+      cfg.scheme = schemes[i];
+      workload::IncastConfig ic;
+      ic.fanout = fanout;
+      ic.total_bytes = 10'000'000;
+      ic.requests = requests;
+      double gbps = 0.0;
+      for (int s = 0; s < scale.seeds; ++s) {
+        cfg.seed = static_cast<std::uint64_t>(s) * 101 + 1;
+        ic.seed = cfg.seed * 13 + 5;
+        gbps += harness::run_incast_experiment(cfg, ic) / scale.seeds;
+      }
+      tput[i].push_back(gbps);
+      row.push_back(stats::Table::fmt(gbps, 2));
+    }
+    table.add_row(row);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\nclient goodput (Gb/s):\n");
+  table.print();
+
+  auto at = [&](int fanout) -> std::size_t {
+    for (std::size_t i = 0; i < fanouts.size(); ++i) {
+      if (fanouts[i] == fanout) return i;
+    }
+    return fanouts.size() - 1;
+  };
+  std::printf("\nheadlines:\n");
+  std::printf("  fanout 9:  Clove-ECN / MPTCP = %.2fx (paper: ~1.9x @10)\n",
+              tput[0][at(9)] / tput[2][at(9)]);
+  std::printf("  fanout 15: Clove-ECN / MPTCP = %.2fx (paper: ~3.4x @16)\n",
+              tput[0][at(15)] / tput[2][at(15)]);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 8a/8b: the paper's NS2-style simulation comparison, adding the
+// in-switch CONGA comparator and Clove-INT: average FCT vs load on the
+// symmetric (8a) and asymmetric (8b) fabric.
+//
+// Paper's headline (§6): Edge-Flowlet captures ~40% of the ECMP->CONGA
+// gain, Clove-ECN ~80%, Clove-INT ~95%; CONGA and Clove-INT are
+// utilization-aware and lead everywhere.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace clove;
+  const auto scale = harness::BenchScale::from_env();
+  bench::print_header("Fig. 8 - simulation comparison incl. CONGA / Clove-INT",
+                      "CoNEXT'17 Clove, Figures 8a (symmetric), 8b (asymmetric)",
+                      scale);
+
+  const std::vector<harness::Scheme> schemes = {
+      harness::Scheme::kEcmp, harness::Scheme::kEdgeFlowlet,
+      harness::Scheme::kCloveEcn, harness::Scheme::kCloveInt,
+      harness::Scheme::kConga};
+
+  for (bool asym : {false, true}) {
+    const auto loads =
+        asym ? bench::default_loads({0.3, 0.5, 0.6, 0.7})
+             : bench::default_loads({0.3, 0.5, 0.7, 0.9});
+    stats::Table table([&] {
+      std::vector<std::string> h{"load%"};
+      for (auto s : schemes) h.push_back(harness::scheme_name(s));
+      return h;
+    }());
+
+    std::vector<std::vector<double>> fct(schemes.size());
+    for (double load : loads) {
+      std::vector<std::string> row{stats::Table::fmt(load * 100, 0)};
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        harness::ExperimentConfig cfg = harness::make_ns2_profile();
+        cfg.scheme = schemes[i];
+        cfg.asymmetric = asym;
+        auto r = bench::run_point(cfg, load, scale);
+        fct[i].push_back(r.avg_fct_s);
+        row.push_back(stats::Table::fmt(r.avg_fct_s * 1000, 1));
+      }
+      table.add_row(row);
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n\nFig. 8%c - %s topology, avg FCT (milliseconds):\n",
+                asym ? 'b' : 'a', asym ? "asymmetric" : "symmetric");
+    table.print();
+
+    const std::size_t last = loads.size() - 1;
+    const double ecmp = fct[0][last];
+    const double conga = fct[4][last];
+    std::printf("\ncapture of the ECMP->CONGA gain @%.0f%% load "
+                "(paper: EF ~40%%, Clove-ECN ~80%%, Clove-INT ~95%%):\n",
+                loads[last] * 100);
+    std::printf("  Edge-Flowlet: %5.1f%%\n",
+                100 * bench::capture_fraction(ecmp, fct[1][last], conga));
+    std::printf("  Clove-ECN:    %5.1f%%\n",
+                100 * bench::capture_fraction(ecmp, fct[2][last], conga));
+    std::printf("  Clove-INT:    %5.1f%%\n\n",
+                100 * bench::capture_fraction(ecmp, fct[3][last], conga));
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 9: CDF of mice-flow (<100 KB) completion times at 70% load on the
+// asymmetric fabric, for {ECMP, Clove-ECN, CONGA} (NS2-style profile).
+//
+// Paper's shape: Clove-ECN's CDF sits between ECMP's and CONGA's, capturing
+// ~80% of the gap at the 99th percentile.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace clove;
+  const auto scale = harness::BenchScale::from_env();
+  bench::print_header("Fig. 9 - CDF of mice FCTs @70% load, asymmetric",
+                      "CoNEXT'17 Clove, Figure 9", scale);
+
+  const std::vector<harness::Scheme> schemes = {harness::Scheme::kEcmp,
+                                                harness::Scheme::kCloveEcn,
+                                                harness::Scheme::kConga};
+  std::vector<bench::SweepResult> results;
+  for (auto s : schemes) {
+    harness::ExperimentConfig cfg = harness::make_ns2_profile();
+    cfg.scheme = s;
+    cfg.asymmetric = true;
+    results.push_back(bench::run_point(cfg, 0.7, scale));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\nmice FCT CDF (seconds at each percentile):\n");
+
+  stats::Table table({"pct", "ECMP", "Clove-ECN", "CONGA"});
+  for (int pct : {10, 25, 50, 75, 90, 95, 99}) {
+    std::vector<std::string> row{std::to_string(pct)};
+    for (auto& r : results) {
+      row.push_back(stats::Table::fmt(r.fct->mice().percentile(pct), 4));
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  const double ecmp99 = results[0].fct->mice().percentile(99);
+  const double clove99 = results[1].fct->mice().percentile(99);
+  const double conga99 = results[2].fct->mice().percentile(99);
+  std::printf(
+      "\nheadline: Clove-ECN captures %.0f%% of the ECMP->CONGA p99 gap "
+      "(paper: ~80%%)\n",
+      100 * bench::capture_fraction(ecmp99, clove99, conga99));
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the per-packet datapath
+// operations Clove adds to the hypervisor vswitch (§4 "Minimal packet
+// processing overhead"): ECMP hashing, flowlet-table touches, WRR picks,
+// DRE updates and full policy pick_port() calls.
+
+#include <benchmark/benchmark.h>
+
+#include "lb/clove_ecn.hpp"
+#include "lb/clove_int.hpp"
+#include "lb/ecmp.hpp"
+#include "lb/edge_flowlet.hpp"
+#include "lb/presto.hpp"
+#include "overlay/flowlet.hpp"
+#include "telemetry/dre.hpp"
+
+namespace {
+
+using namespace clove;
+
+net::FiveTuple tuple_for(int i) {
+  return net::FiveTuple{1, 2, static_cast<std::uint16_t>(1000 + (i & 1023)),
+                        80, net::Proto::kTcp};
+}
+
+overlay::PathSet four_paths() {
+  overlay::PathSet ps;
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    overlay::PathInfo p;
+    p.port = static_cast<std::uint16_t>(50000 + i);
+    p.hops = {{10, 0},
+              {static_cast<net::IpAddr>(20 + i / 2), static_cast<int>(i % 2)},
+              {11, static_cast<int>(i % 2)},
+              {2, 0}};
+    ps.paths.push_back(p);
+  }
+  return ps;
+}
+
+void BM_EcmpHash(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::hash_tuple(tuple_for(i++), 42));
+  }
+}
+BENCHMARK(BM_EcmpHash);
+
+void BM_FlowletTouch(benchmark::State& state) {
+  overlay::FlowletTracker tracker(100 * sim::kMicrosecond);
+  sim::Time now = 0;
+  int i = 0;
+  for (auto _ : state) {
+    now += 1000;
+    benchmark::DoNotOptimize(tracker.touch(tuple_for(i++), now));
+  }
+}
+BENCHMARK(BM_FlowletTouch);
+
+void BM_DreUpdate(benchmark::State& state) {
+  telemetry::Dre dre(0.1, 50 * sim::kMicrosecond, 1.25e9);
+  sim::Time now = 0;
+  for (auto _ : state) {
+    now += 1200;
+    dre.on_transmit(now, 1500);
+    benchmark::DoNotOptimize(dre.utilization(now));
+  }
+}
+BENCHMARK(BM_DreUpdate);
+
+template <typename Policy>
+void run_policy_bench(benchmark::State& state, Policy& policy,
+                      bool with_paths) {
+  if (with_paths) policy.on_paths_updated(2, four_paths());
+  auto pkt = net::make_packet();
+  sim::Time now = 0;
+  int i = 0;
+  for (auto _ : state) {
+    now += 1000;
+    pkt->inner = tuple_for(i++);
+    pkt->payload = 1460;
+    benchmark::DoNotOptimize(policy.pick_port(*pkt, 2, now));
+  }
+}
+
+void BM_PickPort_Ecmp(benchmark::State& state) {
+  lb::EcmpPolicy p;
+  run_policy_bench(state, p, false);
+}
+BENCHMARK(BM_PickPort_Ecmp);
+
+void BM_PickPort_EdgeFlowlet(benchmark::State& state) {
+  lb::EdgeFlowletPolicy p;
+  run_policy_bench(state, p, false);
+}
+BENCHMARK(BM_PickPort_EdgeFlowlet);
+
+void BM_PickPort_CloveEcn(benchmark::State& state) {
+  lb::CloveEcnPolicy p;
+  run_policy_bench(state, p, true);
+}
+BENCHMARK(BM_PickPort_CloveEcn);
+
+void BM_PickPort_CloveInt(benchmark::State& state) {
+  lb::CloveIntPolicy p;
+  run_policy_bench(state, p, true);
+}
+BENCHMARK(BM_PickPort_CloveInt);
+
+void BM_PickPort_Presto(benchmark::State& state) {
+  lb::PrestoPolicy p;
+  run_policy_bench(state, p, true);
+}
+BENCHMARK(BM_PickPort_Presto);
+
+void BM_CloveEcnFeedback(benchmark::State& state) {
+  lb::CloveEcnPolicy p;
+  p.on_paths_updated(2, four_paths());
+  net::CloveFeedback fb;
+  fb.present = true;
+  fb.ecn_set = true;
+  sim::Time now = 0;
+  int i = 0;
+  for (auto _ : state) {
+    now += 10'000;
+    fb.port = static_cast<std::uint16_t>(50000 + (i++ & 3));
+    p.on_feedback(2, fb, now);
+  }
+}
+BENCHMARK(BM_CloveEcnFeedback);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Link-failure recovery demo (§3.1/§5.2): run steady web-search traffic
+// under Clove-ECN, fail an S2-L2 fabric link mid-run, and watch
+//   1. routing recompute at the switches (ECMP next-hop sets shrink),
+//   2. the periodic traceroute rounds rediscover the port->path mapping,
+//   3. the Clove-ECN weights shift away from the S2 bottleneck.
+//
+//   ./link_failure_recovery
+
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "lb/clove_ecn.hpp"
+#include "stats/timeseries.hpp"
+#include "workload/client_server.hpp"
+
+int main() {
+  using namespace clove;
+
+  harness::ExperimentConfig cfg = harness::make_testbed_profile();
+  cfg.scheme = harness::Scheme::kCloveEcn;
+  cfg.discovery.probe_interval = 250 * sim::kMillisecond;
+
+  harness::Testbed tb(cfg);
+  tb.start_discovery();
+
+  workload::ClientServerConfig wl;
+  wl.load = 0.6;
+  wl.jobs_per_conn = 120;
+  wl.conns_per_client = 2;
+  wl.tcp = cfg.tcp;
+  wl.start_time = cfg.traffic_start;
+  workload::ClientServerWorkload ws(tb.simulator(), wl, tb.clients(),
+                                    tb.servers());
+  ws.start([&] { tb.simulator().stop(); });
+
+  auto* client = tb.clients()[0];
+  const net::IpAddr s2 = tb.fabric().spines[1]->ip();
+
+  // Watch the surviving S2->L2 link's queue around the failure.
+  stats::TimeSeriesSet watch(tb.simulator());
+  net::Link* survivor = tb.fabric().fabric_links[1][1][1];
+  net::Link* survivor_down = tb.topology().reverse_of(survivor);
+  watch.add("s2_l2_queue_pkts",
+            [survivor_down] {
+              return static_cast<double>(survivor_down->queue_bytes()) / 1578.0;
+            },
+            sim::milliseconds(1));
+  watch.add("s2_l2_utilization",
+            [survivor_down] { return survivor_down->utilization(); },
+            sim::milliseconds(1));
+  watch.start_all();
+
+  // Periodically report how much WRR weight this client places on paths
+  // through S2 (averaged over the servers it has discovered paths to).
+  auto report = [&](const char* tag) {
+    auto* pol = static_cast<lb::CloveEcnPolicy*>(&client->policy());
+    double s2_mass = 0.0, total = 0.0;
+    int dsts = 0;
+    for (auto* srv : tb.servers()) {
+      const overlay::PathSet* ps = client->discovery().paths(srv->ip());
+      if (ps == nullptr) continue;
+      const auto w = pol->weights(srv->ip());
+      if (w.size() != ps->paths.size()) continue;
+      ++dsts;
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        total += w[i];
+        for (const auto& hop : ps->paths[i].hops) {
+          if (hop.node == s2) {
+            s2_mass += w[i];
+            break;
+          }
+        }
+      }
+    }
+    std::printf("[%8s] t=%-10s dsts=%d  weight via S2: %4.1f%%  (capacity "
+                "share after failure: 33.3%%)\n",
+                tag, sim::format_time(tb.simulator().now()).c_str(), dsts,
+                total > 0 ? 100.0 * s2_mass / total : 0.0);
+  };
+
+  const sim::Time fail_at = sim::milliseconds(300);
+  tb.simulator().schedule_at(fail_at, [&] {
+    std::printf("\n*** failing one S2-L2 40G link at t=%s ***\n\n",
+                sim::format_time(fail_at).c_str());
+    tb.fail_s2_l2_link();
+  });
+  for (int i = 1; i <= 12; ++i) {
+    tb.simulator().schedule_at(i * sim::milliseconds(100), [&, i] {
+      report(i * 100 <= 300 ? "pre-fail" : "recovery");
+    });
+  }
+
+  tb.simulator().run(cfg.max_sim_time);
+
+  std::printf("\nworkload finished: %llu/%llu jobs, avg FCT %.3fs\n",
+              static_cast<unsigned long long>(ws.jobs_done()),
+              static_cast<unsigned long long>(ws.jobs_total()),
+              ws.fct().all().mean());
+  const auto* q = watch.find("s2_l2_queue_pkts");
+  std::printf("surviving S2->L2 link queue: pre-failure mean %.1f pkts, "
+              "first 100ms after failure %.1f pkts, last 100ms %.1f pkts\n",
+              q->mean_between(0, fail_at),
+              q->mean_between(fail_at, fail_at + sim::milliseconds(100)),
+              q->mean_between(tb.simulator().now() - sim::milliseconds(100),
+                              tb.simulator().now()));
+  std::printf("route recomputations: %d, discovery rounds at %s: %d\n",
+              tb.topology().route_epoch(), client->name().c_str(),
+              client->discovery().rounds_completed());
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every paper figure/table; see README.md for scale knobs.
+: "${CLOVE_JOBS:=30}"
+: "${CLOVE_CONNS:=2}"
+: "${CLOVE_SEEDS:=1}"
+export CLOVE_JOBS CLOVE_CONNS CLOVE_SEEDS
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $b"
+  "$b"
+  echo
+done

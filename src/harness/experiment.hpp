@@ -1,0 +1,142 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "overlay/hypervisor.hpp"
+#include "stats/stats.hpp"
+#include "transport/tcp.hpp"
+#include "workload/client_server.hpp"
+
+namespace clove::harness {
+
+/// Every load-balancing scheme the paper evaluates, plus the extensions.
+enum class Scheme {
+  kEcmp,
+  kEdgeFlowlet,
+  kCloveEcn,
+  kCloveInt,
+  kCloveLatency,  ///< §7 extension
+  kPresto,
+  kMptcp,
+  kConga,    ///< in-switch comparator (simulation, §6)
+  kLetFlow,  ///< in-switch flowlet ablation (§8)
+};
+
+[[nodiscard]] std::string scheme_name(Scheme s);
+[[nodiscard]] bool scheme_is_edge_based(Scheme s);
+
+/// One experiment = one topology + one scheme + one workload + one seed.
+struct ExperimentConfig {
+  Scheme scheme{Scheme::kCloveEcn};
+  bool asymmetric{false};  ///< fail one S2-L2 link (§5.2/§6.2)
+  std::uint64_t seed{1};
+
+  net::LeafSpineConfig topo{};
+
+  // Clove parameters (§3.2/§4; swept by Fig. 6 and the A2 ablation).
+  sim::Time flowlet_gap{100 * sim::kMicrosecond};
+  std::int64_t ecn_threshold_pkts{20};
+  sim::Time feedback_relay_interval{50 * sim::kMicrosecond};
+  double clove_reduce_factor{1.0 / 3.0};
+  sim::Time clove_congestion_expiry{1500 * sim::kMicrosecond};
+  sim::Time clove_recovery_interval{10 * sim::kMillisecond};
+  double clove_recovery_rate{0.005};
+  /// §7 "Flowlet optimization": adapt Clove-ECN's flowlet gap to the
+  /// observed per-path delay spread (enables latency measurement/relay).
+  bool adaptive_flowlet_gap{false};
+  /// Run Clove in the §7 non-overlay (five-tuple rewriting) mode.
+  bool non_overlay{false};
+
+  // Guest transport. min RTO defaults to the "testbed" profile; the Fig. 8
+  // NS2-style benches lower it (see make_ns2_profile()).
+  transport::TcpConfig tcp{};
+  transport::MptcpConfig mptcp{};
+
+  // Discovery runs before traffic starts.
+  overlay::TracerouteConfig discovery{};
+  sim::Time traffic_start{30 * sim::kMillisecond};
+  sim::Time max_sim_time{600 * sim::kSecond};
+};
+
+/// Shared result shape for the FCT experiments.
+struct ExperimentResult {
+  double avg_fct_s{0.0};
+  double mice_avg_fct_s{0.0};
+  double elephant_avg_fct_s{0.0};
+  double p99_fct_s{0.0};
+  double mice_p99_fct_s{0.0};
+  std::uint64_t jobs{0};
+  std::uint64_t timeouts{0};
+  std::uint64_t fast_retransmits{0};
+  std::uint64_t ecn_marks{0};
+  std::uint64_t drops{0};
+  std::uint64_t events{0};
+  /// Raw recorder for CDFs (Fig. 9) — populated from the last seed run.
+  std::shared_ptr<stats::FctRecorder> fct;
+};
+
+/// A fully-built testbed ready to run: topology, hosts, workload hooks.
+/// Exposed so examples/tests can compose custom scenarios; the one-call
+/// entry points below cover the paper's experiments.
+class Testbed {
+ public:
+  Testbed(const ExperimentConfig& cfg);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Topology& topology() { return *topo_; }
+  [[nodiscard]] net::LeafSpine& fabric() { return fabric_; }
+  [[nodiscard]] std::vector<overlay::Hypervisor*>& clients() { return clients_; }
+  [[nodiscard]] std::vector<overlay::Hypervisor*>& servers() { return servers_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return cfg_; }
+
+  /// Kick off path discovery between all client/server pairs (no-op for
+  /// schemes that do not need it).
+  void start_discovery();
+
+  /// Fail the S2-L2 link the paper disables (idempotent).
+  void fail_s2_l2_link();
+  void restore_s2_l2_link();
+
+  /// Sum of drops / ECN marks over all links.
+  [[nodiscard]] std::uint64_t total_drops() const;
+  [[nodiscard]] std::uint64_t total_ecn_marks() const;
+
+ private:
+  std::unique_ptr<lb::Policy> make_policy();
+  overlay::HypervisorConfig make_hyp_config();
+
+  ExperimentConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Topology> topo_;
+  net::LeafSpine fabric_;
+  std::vector<overlay::Hypervisor*> clients_;
+  std::vector<overlay::Hypervisor*> servers_;
+};
+
+/// Run the §5/§6 client-server FCT workload for one (scheme, load) point.
+ExperimentResult run_fct_experiment(const ExperimentConfig& cfg,
+                                    const workload::ClientServerConfig& wl);
+
+/// Run the §5.3 incast workload; returns achieved goodput in Gb/s.
+double run_incast_experiment(const ExperimentConfig& cfg,
+                             const workload::IncastConfig& wl);
+
+/// Environment-based scale controls for the bench harness:
+/// CLOVE_JOBS (jobs per connection), CLOVE_SEEDS (averaging runs),
+/// CLOVE_CONNS (connections per client). Defaults keep the full bench suite
+/// in the minutes range; paper-scale values reproduce §5 magnitudes.
+struct BenchScale {
+  int jobs_per_conn;
+  int seeds;
+  int conns_per_client;
+  static BenchScale from_env();
+};
+
+/// The paper's two evaluation profiles.
+ExperimentConfig make_testbed_profile();  ///< §5: Linux stacks, 200ms min RTO
+ExperimentConfig make_ns2_profile();      ///< §6: simulation profile
+
+}  // namespace clove::harness

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "lb/policy.hpp"
+
+namespace clove::lb {
+
+/// The status-quo baseline (§5 "ECMP"): the outer source port is a hash of
+/// the inner 5-tuple, constant for the flow's lifetime, so the physical
+/// fabric's ECMP pins every flow to one path regardless of congestion.
+class EcmpPolicy : public Policy {
+ public:
+  std::uint16_t pick_port(const net::Packet& inner, net::IpAddr dst,
+                          sim::Time now) override {
+    (void)dst;
+    (void)now;
+    return static_cast<std::uint16_t>(
+        overlay::kEphemeralBase +
+        net::hash_tuple(inner.inner, /*salt=*/0xEC3Bu) % overlay::kEphemeralCount);
+  }
+
+  [[nodiscard]] std::string name() const override { return "ecmp"; }
+};
+
+}  // namespace clove::lb

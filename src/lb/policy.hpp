@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hpp"
+#include "overlay/paths.hpp"
+#include "sim/time.hpp"
+
+namespace clove::lb {
+
+/// The decision interface of an edge load balancer living inside a source
+/// hypervisor's virtual switch. One Policy instance per hypervisor; all
+/// per-destination state is keyed internally by destination hypervisor IP.
+///
+/// The vswitch calls pick_port() for every outgoing tenant data packet;
+/// policies implement their own granularity internally (per-flow hash,
+/// flowlets, Presto flowcells, ...).
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Choose the overlay encapsulation source port for `inner` headed to the
+  /// hypervisor at `dst`. Called per data packet.
+  virtual std::uint16_t pick_port(const net::Packet& inner, net::IpAddr dst,
+                                  sim::Time now) = 0;
+
+  /// Path discovery produced (or refreshed) the port->path mapping for dst.
+  virtual void on_paths_updated(net::IpAddr dst, const overlay::PathSet& paths) {
+    (void)dst;
+    (void)paths;
+  }
+
+  /// Feedback bits arrived from the destination hypervisor (ECN/INT/latency).
+  virtual void on_feedback(net::IpAddr dst, const net::CloveFeedback& fb,
+                           sim::Time now) {
+    (void)dst;
+    (void)fb;
+    (void)now;
+  }
+
+  /// Whether outgoing packets should carry ECT on the outer header.
+  [[nodiscard]] virtual bool wants_ect() const { return false; }
+  /// Whether outgoing packets should request INT telemetry.
+  [[nodiscard]] virtual bool wants_int() const { return false; }
+  /// Whether this policy needs traceroute path discovery to function.
+  [[nodiscard]] virtual bool needs_discovery() const { return false; }
+
+  /// §3.2 "Reacting to congestion": when every known path to dst is
+  /// congested, the vswitch stops masking and relays ECN into the VM.
+  [[nodiscard]] virtual bool all_paths_congested(net::IpAddr dst,
+                                                 sim::Time now) const {
+    (void)dst;
+    (void)now;
+    return false;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace clove::lb

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "lb/policy.hpp"
+
+namespace clove::lb {
+
+struct PrestoConfig {
+  std::uint32_t flowcell_bytes{64 * 1024};  ///< TSO-segment-sized flowcells
+};
+
+/// Presto adapted to L3 ECMP as the paper's §5 reimplementation does: each
+/// flow is chopped into fixed-size 64 KB flowcells; flowcells rotate through
+/// the discovered encapsulation source ports in a (weighted) round-robin,
+/// oblivious to congestion. The receiving vswitch re-assembles out-of-order
+/// flowcells before the VM sees them (VSwitchConfig::reorder_buffer).
+///
+/// For asymmetric topologies the real Presto needs a centralized controller
+/// to push path weights; the paper (and we) grant it ideal static weights
+/// via set_weight_fn().
+class PrestoPolicy : public Policy {
+ public:
+  /// Given a path, return its static weight (default: uniform).
+  using WeightFn = std::function<double(const overlay::PathInfo&)>;
+
+  explicit PrestoPolicy(const PrestoConfig& cfg = {}) : cfg_(cfg) {}
+
+  void set_weight_fn(WeightFn fn) { weight_fn_ = std::move(fn); }
+
+  std::uint16_t pick_port(const net::Packet& inner, net::IpAddr dst,
+                          sim::Time now) override {
+    (void)now;
+    auto dit = dsts_.find(dst);
+    if (dit == dsts_.end() || dit->second.paths.empty()) {
+      return static_cast<std::uint16_t>(
+          overlay::kEphemeralBase +
+          net::hash_tuple(inner.inner, 0x9137u) % overlay::kEphemeralCount);
+    }
+    DstState& st = dit->second;
+    FlowState& fs = flows_[inner.inner];
+    if (fs.cell_bytes == 0 || fs.cell_bytes >= cfg_.flowcell_bytes) {
+      // New flowcell: advance the per-flow weighted round-robin.
+      fs.path_idx = wrr_pick(st, fs);
+      fs.cell_bytes = 0;
+      ++fs.flowcell_id;
+    }
+    fs.cell_bytes += inner.payload;
+    if (fs.path_idx >= st.paths.size()) fs.path_idx = 0;
+    return st.paths[fs.path_idx].port;
+  }
+
+  void on_paths_updated(net::IpAddr dst, const overlay::PathSet& paths) override {
+    DstState& st = dsts_[dst];
+    st.paths = paths.paths;
+    st.weights.clear();
+    double total = 0.0;
+    for (const auto& p : st.paths) {
+      const double w = weight_fn_ ? weight_fn_(p) : 1.0;
+      st.weights.push_back(w);
+      total += w;
+    }
+    if (total > 0) {
+      for (double& w : st.weights) w /= total;
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "presto"; }
+  [[nodiscard]] bool needs_discovery() const override { return true; }
+  /// Presto expects receiver-side flowcell reassembly.
+  [[nodiscard]] static bool wants_reorder_buffer() { return true; }
+
+ private:
+  struct DstState {
+    std::vector<overlay::PathInfo> paths;
+    std::vector<double> weights;
+  };
+  struct FlowState {
+    std::uint64_t cell_bytes{0};
+    std::uint32_t flowcell_id{0};
+    std::size_t path_idx{0};
+    std::vector<double> wrr_credit;
+  };
+
+  std::size_t wrr_pick(const DstState& st, FlowState& fs) {
+    if (fs.wrr_credit.size() != st.weights.size()) {
+      fs.wrr_credit.assign(st.weights.size(), 0.0);
+    }
+    double total = 0.0;
+    std::size_t best = 0;
+    double best_credit = -1e300;
+    for (std::size_t i = 0; i < st.weights.size(); ++i) {
+      fs.wrr_credit[i] += st.weights[i];
+      total += st.weights[i];
+      if (fs.wrr_credit[i] > best_credit) {
+        best_credit = fs.wrr_credit[i];
+        best = i;
+      }
+    }
+    fs.wrr_credit[best] -= total;
+    return best;
+  }
+
+  PrestoConfig cfg_;
+  WeightFn weight_fn_;
+  std::unordered_map<net::IpAddr, DstState> dsts_;
+  std::unordered_map<net::FiveTuple, FlowState, net::FiveTupleHash> flows_;
+};
+
+}  // namespace clove::lb

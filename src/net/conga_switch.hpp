@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/switch.hpp"
+#include "net/switch_flowlet.hpp"
+#include "sim/random.hpp"
+
+namespace clove::net {
+
+/// Configuration for the CONGA leaf behaviour.
+struct CongaConfig {
+  sim::Time flowlet_gap{200 * sim::kMicrosecond};
+  sim::Time table_aging{10 * sim::kMillisecond};  ///< stale metrics decay to 0
+  int quantization_bits{3};
+};
+
+/// A CONGA-style leaf switch (Alizadeh et al., SIGCOMM 2014), as simulated
+/// by the paper's §6 NS2 comparison. The leaf:
+///  * splits cross-leaf traffic into flowlets,
+///  * routes each new flowlet on the uplink minimizing
+///    max(local uplink DRE, remote congestion-to-leaf metric),
+///  * stamps packets with (src_leaf, lb_tag, ce); fabric links max their
+///    quantized DRE utilization into `ce` as the packet traverses them,
+///  * records arriving `ce` per (src_leaf, lb_tag) and piggybacks it back as
+///    (fb_tag, fb_ce) on reverse traffic, populating the sender's
+///    congestion-to-leaf table.
+///
+/// Spine switches need no changes beyond links that update `ce`
+/// (LinkConfig::conga_metric), which mirrors CONGA's fabric requirement.
+class CongaLeafSwitch : public Switch {
+ public:
+  CongaLeafSwitch(sim::Simulator& sim, NodeId id, std::string name,
+                  const CongaConfig& cfg = {})
+      : Switch(sim, id, std::move(name)),
+        cfg_(cfg),
+        flowlets_(cfg.flowlet_gap),
+        rng_(id * 7919u + 17u) {}
+
+  /// Wire up fabric knowledge once the topology exists: this leaf's index,
+  /// its uplink port numbers (tag i <-> uplink_ports[i]) and the leaf index
+  /// of every host IP (-1 never occurs; local hosts carry this leaf's index).
+  void configure_fabric(int leaf_index, std::vector<int> uplink_ports,
+                        std::unordered_map<IpAddr, int> host_leaf);
+
+  [[nodiscard]] int leaf_index() const { return leaf_index_; }
+  [[nodiscard]] std::uint8_t congestion_to(int dst_leaf, int tag) const;
+  [[nodiscard]] std::uint8_t congestion_from(int src_leaf, int tag) const;
+
+ protected:
+  int select_port(const Packet& pkt, const std::vector<int>& ports,
+                  int in_port) override;
+  void on_forward(Packet& pkt, int egress_port, int in_port) override;
+
+ private:
+  struct Metric {
+    std::uint8_t ce{0};
+    sim::Time updated{-1};
+  };
+  using MetricTable = std::unordered_map<std::uint64_t, Metric>;
+  static std::uint64_t table_key(int leaf, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(leaf)) << 8) |
+           static_cast<std::uint8_t>(tag);
+  }
+  [[nodiscard]] std::uint8_t read_metric(const MetricTable& t,
+                                         std::uint64_t key) const;
+
+  [[nodiscard]] bool is_uplink(int port) const {
+    for (int p : uplink_ports_) {
+      if (p == port) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] int leaf_of(IpAddr ip) const {
+    auto it = host_leaf_.find(ip);
+    return it == host_leaf_.end() ? -1 : it->second;
+  }
+
+  int pick_uplink_tag(int dst_leaf, const std::vector<int>& live_ports);
+
+  CongaConfig cfg_;
+  int leaf_index_{-1};
+  std::vector<int> uplink_ports_;
+  std::unordered_map<IpAddr, int> host_leaf_;
+
+  SwitchFlowletTable flowlets_;
+  MetricTable to_leaf_;    ///< congestion-to-leaf (from feedback)
+  MetricTable from_leaf_;  ///< congestion-from-leaf (measured on arrivals)
+  std::unordered_map<int, std::uint8_t> fb_rr_;  ///< feedback round-robin/leaf
+  sim::Rng rng_;
+};
+
+}  // namespace clove::net

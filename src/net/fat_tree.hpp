@@ -1,0 +1,56 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace clove::net {
+
+/// Parameters of a 3-tier k-ary fat-tree (Al-Fares et al.): k pods, each
+/// with k/2 edge and k/2 aggregation switches; (k/2)^2 core switches; k/2
+/// hosts per edge switch. Full bisection bandwidth at uniform link rate.
+///
+/// Clove claims to work "on any topology with ECMP-based layer-3 routing"
+/// (§3.1); this builder exists to exercise that claim: path discovery must
+/// find the (k/2)^2 core paths between pods, and the load-balancing
+/// machinery must be topology-agnostic.
+struct FatTreeConfig {
+  int k{4};  ///< must be even; k=4 -> 16 hosts, k=8 -> 128 hosts
+  double host_gbps{10.0};
+  double fabric_gbps{10.0};  ///< classic fat-tree: uniform link speed
+  sim::Time link_propagation{5 * sim::kMicrosecond};
+  std::int64_t queue_pkts{256};
+  std::int64_t ecn_threshold_pkts{20};
+  std::int64_t mtu_bytes{1578};
+  bool int_telemetry{false};
+};
+
+struct FatTree {
+  FatTreeConfig cfg;
+  std::vector<std::vector<Switch*>> edge_by_pod;  ///< [pod][i]
+  std::vector<std::vector<Switch*>> agg_by_pod;   ///< [pod][i]
+  std::vector<Switch*> core;
+  std::vector<std::vector<Node*>> hosts_by_pod;   ///< [pod][i]
+
+  [[nodiscard]] int n_pods() const { return static_cast<int>(edge_by_pod.size()); }
+  [[nodiscard]] std::size_t host_count() const {
+    std::size_t n = 0;
+    for (const auto& p : hosts_by_pod) n += p.size();
+    return n;
+  }
+  /// Number of distinct shortest paths between hosts in different pods.
+  [[nodiscard]] int cross_pod_paths() const {
+    const int half_k = cfg.k / 2;
+    return half_k * half_k;
+  }
+};
+
+/// Build a k-ary fat-tree into `topo`; `make_host(topo, name, pod)` creates
+/// each endpoint. Routes are computed before returning.
+FatTree build_fat_tree(
+    Topology& topo, const FatTreeConfig& cfg,
+    const std::function<Node*(Topology&, const std::string&, int)>& make_host);
+
+}  // namespace clove::net

@@ -1,0 +1,117 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "net/node.hpp"
+#include "sim/logging.hpp"
+
+namespace clove::net {
+
+Link::Link(sim::Simulator& sim, LinkId id, std::string name, Node* dst,
+           int dst_in_port, const LinkConfig& cfg)
+    : sim_(sim),
+      id_(id),
+      name_(std::move(name)),
+      dst_(dst),
+      dst_in_port_(dst_in_port),
+      cfg_(cfg) {
+  dre_.configure(cfg_.dre_alpha, cfg_.dre_interval, cfg_.rate_bytes_per_sec);
+}
+
+void Link::enqueue(PacketPtr pkt) {
+  if (down_) {
+    ++stats_.drops_down;
+    return;
+  }
+  const std::int64_t wire = pkt->wire_size();
+  if (queue_bytes_ + wire > cfg_.queue_capacity_bytes) {
+    ++stats_.drops_overflow;
+    CLOVE_TRACE(sim_.now(), name_.c_str(), "drop overflow %s",
+                pkt->to_string().c_str());
+    return;
+  }
+  // DCTCP-style marking: mark the arriving packet when the instantaneous
+  // queue occupancy is at or above the threshold K (paper §3.2: 20 pkts).
+  if (cfg_.ecn_marking && queue_bytes_ >= cfg_.ecn_threshold_bytes) {
+    if (pkt->encap.present && pkt->encap.ecn.ect) {
+      if (!pkt->encap.ecn.ce) ++stats_.ecn_marks;
+      pkt->encap.ecn.ce = true;
+    } else if (!pkt->encap.present && pkt->tcp.ect) {
+      if (!pkt->tcp.ce) ++stats_.ecn_marks;
+      pkt->tcp.ce = true;
+    }
+  }
+  queue_.push_back(std::move(pkt));
+  queue_bytes_ += wire;
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queue_bytes_);
+  if (!busy_) start_tx();
+}
+
+void Link::start_tx() {
+  busy_ = true;
+  in_flight_ = std::move(queue_.front());
+  queue_.pop_front();
+  queue_bytes_ -= in_flight_->wire_size();
+  const sim::Time tx = serialization_delay(in_flight_->wire_size());
+  sim_.schedule_in(tx, [this] { on_tx_done(); });
+}
+
+void Link::on_tx_done() {
+  if (down_ || !in_flight_) {
+    // The link failed during serialization; the bits are lost.
+    in_flight_.reset();
+    busy_ = false;
+    return;
+  }
+  PacketPtr pkt = std::move(in_flight_);
+  const std::int64_t wire = pkt->wire_size();
+  dre_.on_transmit(sim_.now(), wire);
+  ++stats_.tx_packets;
+  stats_.tx_bytes += static_cast<std::uint64_t>(wire);
+
+  if (cfg_.int_telemetry && pkt->int_stack.enabled) {
+    pkt->int_stack.push(static_cast<float>(dre_.utilization(sim_.now())));
+  }
+  if (cfg_.conga_metric && pkt->conga.present) {
+    pkt->conga.ce = std::max(pkt->conga.ce, dre_.quantized(sim_.now()));
+  }
+
+  propagating_.emplace_back(sim_.now() + cfg_.propagation, std::move(pkt));
+  sim_.schedule_in(cfg_.propagation, [this] { deliver_front(); });
+
+  if (!queue_.empty()) {
+    start_tx();
+  } else {
+    busy_ = false;
+  }
+}
+
+void Link::deliver_front() {
+  // Stale events (queue flushed by a failure, or a newer packet's event
+  // arriving before its deadline) are detected via the stored deadline.
+  if (propagating_.empty() || propagating_.front().first > sim_.now()) return;
+  PacketPtr pkt = std::move(propagating_.front().second);
+  propagating_.pop_front();
+  if (down_) {
+    ++stats_.drops_down;
+    return;
+  }
+  dst_->receive(std::move(pkt), dst_in_port_);
+}
+
+void Link::down() {
+  down_ = true;
+  stats_.drops_down += queue_.size() + propagating_.size() + (in_flight_ ? 1 : 0);
+  queue_.clear();
+  queue_bytes_ = 0;
+  propagating_.clear();
+  in_flight_.reset();
+  busy_ = false;
+}
+
+void Link::up() {
+  down_ = false;
+  dre_.reset();
+}
+
+}  // namespace clove::net

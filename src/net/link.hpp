@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/dre.hpp"
+
+namespace clove::net {
+
+class Node;
+
+using LinkId = std::uint32_t;
+
+/// Configuration of one unidirectional link (and its egress queue).
+struct LinkConfig {
+  double rate_bytes_per_sec{sim::gbps_to_bytes_per_sec(10.0)};
+  sim::Time propagation{5 * sim::kMicrosecond};
+  std::int64_t queue_capacity_bytes{128 * 1578};  ///< drop-tail limit
+  std::int64_t ecn_threshold_bytes{20 * 1578};    ///< mark-on-enqueue (K)
+  bool ecn_marking{true};       ///< whether this egress marks ECT packets
+  bool int_telemetry{false};    ///< push utilization onto packets' INT stacks
+  bool conga_metric{false};     ///< fold utilization into CONGA ce fields
+  double dre_alpha{0.1};
+  sim::Time dre_interval{50 * sim::kMicrosecond};
+};
+
+/// Per-link counters, exposed for tests and experiment reports.
+struct LinkStats {
+  std::uint64_t tx_packets{0};
+  std::uint64_t tx_bytes{0};
+  std::uint64_t drops_overflow{0};
+  std::uint64_t drops_down{0};
+  std::uint64_t ecn_marks{0};
+  std::int64_t max_queue_bytes{0};
+};
+
+/// A unidirectional point-to-point link with a drop-tail, ECN-marking egress
+/// queue, a transmitter that serializes one packet at a time, and a fixed
+/// propagation pipe. Utilization is tracked with a DRE for INT/CONGA.
+class Link {
+ public:
+  Link(sim::Simulator& sim, LinkId id, std::string name, Node* dst,
+       int dst_in_port, const LinkConfig& cfg);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offer a packet to the egress queue; may drop (overflow / link down).
+  void enqueue(PacketPtr pkt);
+
+  /// Take the link down: queued and in-flight packets are lost, and no new
+  /// traffic is accepted until up() is called.
+  void down();
+  void up();
+  [[nodiscard]] bool is_down() const { return down_; }
+
+  [[nodiscard]] LinkId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Node* dst() const { return dst_; }
+  [[nodiscard]] const LinkConfig& config() const { return cfg_; }
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] std::int64_t queue_bytes() const { return queue_bytes_; }
+  [[nodiscard]] double utilization() const { return dre_.utilization(sim_.now()); }
+  [[nodiscard]] std::uint8_t utilization_quantized(int bits = 3) const {
+    return dre_.quantized(sim_.now(), bits);
+  }
+
+  /// Enable/disable ECN marking post-construction (the topology builder
+  /// turns marking off on host NIC egress queues: those are hypervisor TX
+  /// queues, not switch ports, and real deployments do not mark them).
+  void set_ecn_marking(bool on) { cfg_.ecn_marking = on; }
+
+  /// Idealized time to serialize `bytes` on this link (used by tests).
+  [[nodiscard]] sim::Time serialization_delay(std::int64_t bytes) const {
+    return sim::transmission_delay(bytes, cfg_.rate_bytes_per_sec);
+  }
+
+ private:
+  void start_tx();
+  void on_tx_done();
+  void deliver_front();
+
+  sim::Simulator& sim_;
+  LinkId id_;
+  std::string name_;
+  Node* dst_;
+  int dst_in_port_;
+  LinkConfig cfg_;
+
+  std::deque<PacketPtr> queue_;
+  std::int64_t queue_bytes_{0};
+  bool busy_{false};
+  PacketPtr in_flight_;            ///< packet currently being serialized
+  /// Packets in the propagation pipe, with their delivery deadlines. The
+  /// deadline guards against stale delivery events after a down()/up() flush.
+  std::deque<std::pair<sim::Time, PacketPtr>> propagating_;
+  bool down_{false};
+
+  telemetry::Dre dre_;
+  LinkStats stats_;
+};
+
+}  // namespace clove::net

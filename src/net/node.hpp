@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace clove::net {
+
+class Link;
+
+using NodeId = std::uint32_t;
+
+/// Anything attached to the network: a physical switch or a hypervisor host.
+/// A node owns a set of egress ports, each backed by a unidirectional Link;
+/// ingress is the receive() callback invoked by the delivering link.
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  /// A node's IP address is its node id (one interface address per node).
+  [[nodiscard]] IpAddr ip() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Called by Topology when wiring; returns the new port index.
+  int attach_port(Link* egress) {
+    ports_.push_back(egress);
+    return static_cast<int>(ports_.size()) - 1;
+  }
+
+  [[nodiscard]] int port_count() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] Link* port(int i) const { return ports_[static_cast<std::size_t>(i)]; }
+
+  /// Deliver a packet arriving on `in_port` (index on this node).
+  virtual void receive(PacketPtr pkt, int in_port) = 0;
+
+ protected:
+  std::vector<Link*> ports_;
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace clove::net

@@ -1,0 +1,49 @@
+#include "net/packet.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace clove::net {
+
+std::string FiveTuple::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%u:%u->%u:%u/%u", src_ip, src_port, dst_ip,
+                dst_port, static_cast<unsigned>(proto));
+  return buf;
+}
+
+std::string Packet::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "pkt#%llu inner=%s seq=%llu ack=%llu len=%u%s%s",
+                static_cast<unsigned long long>(uid), inner.to_string().c_str(),
+                static_cast<unsigned long long>(tcp.seq),
+                static_cast<unsigned long long>(tcp.ack), payload,
+                encap.present ? " encap=" : "",
+                encap.present ? encap.tuple.to_string().c_str() : "");
+  return buf;
+}
+
+PacketPtr make_packet() {
+  static std::atomic<std::uint64_t> next_uid{1};
+  auto p = std::make_unique<Packet>();
+  p->uid = next_uid.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+std::uint64_t hash_tuple(const FiveTuple& t, std::uint64_t salt) {
+  // SplitMix64 over the packed tuple fields, salted per switch so that
+  // different switches make independent ECMP decisions (as real hardware
+  // hash seeds do).
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t h = salt ^ 0x9e3779b97f4a7c15ULL;
+  h = mix(h ^ (static_cast<std::uint64_t>(t.src_ip) << 32 | t.dst_ip));
+  h = mix(h ^ (static_cast<std::uint64_t>(t.src_port) << 16 | t.dst_port));
+  h = mix(h ^ static_cast<std::uint64_t>(t.proto));
+  return h;
+}
+
+}  // namespace clove::net

@@ -1,0 +1,211 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace clove::net {
+
+/// Node / endpoint address. In this simulator an IP address is simply the
+/// node id of the host or switch interface that owns it.
+using IpAddr = std::uint32_t;
+inline constexpr IpAddr kIpNone = 0xffffffffu;
+
+/// Transport protocol numbers (only the ones the simulator distinguishes).
+enum class Proto : std::uint8_t {
+  kTcp = 6,
+  kStt = 97,        ///< overlay encapsulation carrier (modeled on STT/TCP)
+  kProbe = 253,     ///< traceroute path-discovery probe
+  kProbeReply = 254 ///< TTL-expiry or destination reply to a probe
+};
+
+/// The classic 5-tuple ECMP hashes on.
+struct FiveTuple {
+  IpAddr src_ip{kIpNone};
+  IpAddr dst_ip{kIpNone};
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  Proto proto{Proto::kTcp};
+
+  bool operator==(const FiveTuple&) const = default;
+
+  [[nodiscard]] FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(t.src_ip);
+    mix(t.dst_ip);
+    mix((std::uint64_t{t.src_port} << 16) | t.dst_port);
+    mix(static_cast<std::uint64_t>(t.proto));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// TCP flag bits (only the subset the simulator models).
+struct TcpFlags {
+  bool syn{false};
+  bool fin{false};
+  bool ack{false};
+  bool ece{false};  ///< ECN-Echo (receiver -> sender)
+  bool cwr{false};  ///< Congestion Window Reduced (sender -> receiver)
+};
+
+/// A SACK block: received bytes in [start, end).
+struct SackBlock {
+  std::uint64_t start{0};
+  std::uint64_t end{0};
+};
+
+/// Inner (tenant VM) TCP header. Sequence numbers are 64-bit byte offsets —
+/// a simulation convenience that removes wrap-around handling without
+/// changing any of the dynamics the paper depends on.
+struct TcpHeader {
+  std::uint64_t seq{0};       ///< first payload byte carried
+  std::uint64_t ack{0};       ///< cumulative ack (next expected byte)
+  TcpFlags flags{};
+  bool ect{false};            ///< inner ECN-capable transport
+  bool ce{false};             ///< inner congestion-experienced
+  std::uint8_t sack_count{0};
+  std::array<SackBlock, 3> sacks{};  ///< up to 3 SACK option blocks
+};
+
+/// ECN codepoint state carried in the (outer) IP header.
+struct EcnBits {
+  bool ect{false};  ///< ECN-capable transport
+  bool ce{false};   ///< congestion experienced
+};
+
+/// Clove metadata carried in reserved STT-context bits of reverse traffic
+/// (paper §3.2/§4): which forward-path source port the feedback refers to,
+/// plus either a congestion bit (Clove-ECN) or a utilization value
+/// (Clove-INT) or a one-way delay (Clove-Latency extension).
+struct CloveFeedback {
+  bool present{false};
+  std::uint16_t port{0};       ///< encapsulation source port being reported
+  bool ecn_set{false};         ///< Clove-ECN: forward path saw CE
+  bool has_util{false};
+  double util{0.0};            ///< Clove-INT: max link utilization on path
+  bool has_latency{false};
+  sim::Time latency{0};        ///< Clove-Latency: one-way delay measured
+};
+
+/// CONGA VXLAN-style fields (simulation of the custom ASIC header):
+/// forward direction carries (src_leaf, lb_tag, ce); feedback direction
+/// carries (fb_tag, fb_ce) piggybacked on reverse traffic.
+struct CongaFields {
+  bool present{false};
+  std::uint32_t src_leaf{0};
+  std::uint8_t lb_tag{0};   ///< uplink chosen at the source leaf
+  std::uint8_t ce{0};       ///< max quantized congestion along path so far
+  bool fb_present{false};
+  std::uint8_t fb_tag{0};
+  std::uint8_t fb_ce{0};
+};
+
+/// In-band Network Telemetry stack: per-hop egress utilization samples.
+struct IntStack {
+  static constexpr int kMaxHops = 8;
+  bool enabled{false};
+  std::uint8_t count{0};
+  std::array<float, kMaxHops> util{};
+
+  void push(float u) {
+    if (count < kMaxHops) util[count++] = u;
+  }
+  [[nodiscard]] float max_util() const {
+    float m = 0.f;
+    for (int i = 0; i < count; ++i) m = std::max(m, util[i]);
+    return m;
+  }
+};
+
+/// Outer (overlay encapsulation) header: an STT-like tunnel header whose
+/// source port is the knob Clove turns, plus context bits for feedback.
+struct EncapHeader {
+  bool present{false};
+  FiveTuple tuple{};           ///< outer 5-tuple (hypervisor to hypervisor)
+  EcnBits ecn{};               ///< outer IP ECN bits
+  CloveFeedback feedback{};    ///< STT-context feedback bits
+  std::uint32_t flowcell_id{0};   ///< Presto: monotonically increasing per flow
+  std::uint64_t flow_hash{0};     ///< Presto: id of the inner flow
+};
+
+/// Presto / traceroute / host-level auxiliary metadata.
+struct ProbeInfo {
+  std::uint32_t probe_id{0};   ///< groups the TTL-laddered packets of a probe
+  std::uint16_t probed_port{0};///< the encap source port under test
+  std::uint8_t hop_index{0};   ///< set by the replying switch
+  IpAddr hop_ip{kIpNone};      ///< node that answered (switch node id)
+  std::int32_t hop_ingress{-1};///< ingress port the probe arrived on — the
+                               ///< per-interface address real traceroute
+                               ///< sees, distinguishing parallel links
+  bool from_destination{false};///< reply came from the final hypervisor
+};
+
+/// Non-overlay deployments (§7): the source vswitch replaces the tenant
+/// five-tuple's source port in place and hides the original value in TCP
+/// options; the destination vswitch restores it before delivery.
+struct RewriteInfo {
+  bool rewritten{false};
+  std::uint16_t orig_src_port{0};
+};
+
+/// A simulated packet. One header-union-of-structs instead of real byte
+/// serialization: the simulator dispatches on these fields exactly where a
+/// real datapath would parse them.
+struct Packet {
+  // --- inner (tenant) headers ------------------------------------------
+  FiveTuple inner{};           ///< VM-to-VM 5-tuple
+  TcpHeader tcp{};
+  std::uint32_t payload{0};    ///< tenant payload bytes
+
+  // --- outer (physical network) headers --------------------------------
+  EncapHeader encap{};
+  std::uint8_t ttl{64};
+  RewriteInfo rewrite{};
+  ProbeInfo probe{};
+  CongaFields conga{};
+  IntStack int_stack{};
+
+  // --- bookkeeping ------------------------------------------------------
+  sim::Time sent_at{0};        ///< timestamp at first NIC transmission
+  std::uint64_t uid{0};        ///< unique id for tracing
+
+  /// The 5-tuple physical switches hash for ECMP: the outer one when the
+  /// packet is encapsulated, else the inner one.
+  [[nodiscard]] const FiveTuple& wire_tuple() const {
+    return encap.present ? encap.tuple : inner;
+  }
+
+  [[nodiscard]] IpAddr wire_src() const { return wire_tuple().src_ip; }
+  [[nodiscard]] IpAddr wire_dst() const { return wire_tuple().dst_ip; }
+
+  /// Bytes on the wire: payload plus a fixed modeled header overhead.
+  static constexpr std::uint32_t kHeaderBytes = 78;  // Eth+IP+TCP+STT approx
+  [[nodiscard]] std::uint32_t wire_size() const { return payload + kHeaderBytes; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Factory that stamps unique ids (per-simulation counter lives in the
+/// caller; this free function exists so tests can build packets tersely).
+[[nodiscard]] PacketPtr make_packet();
+
+/// Deterministic 64-bit mix used for ECMP hashing (salted per switch) and
+/// Presto flow ids. Splittable and platform-stable.
+[[nodiscard]] std::uint64_t hash_tuple(const FiveTuple& t, std::uint64_t salt);
+
+}  // namespace clove::net

@@ -1,0 +1,66 @@
+#include "net/switch.hpp"
+
+#include "sim/logging.hpp"
+
+namespace clove::net {
+
+void Switch::receive(PacketPtr pkt, int in_port) {
+  // TTL processing, as a router would: decrement, and on expiry either
+  // answer a traceroute probe or silently drop.
+  if (pkt->ttl == 0) {
+    ++stats_.ttl_drops;
+    return;
+  }
+  pkt->ttl--;
+  if (pkt->ttl == 0) {
+    if (pkt->probe.probe_id != 0 && pkt->probe.hop_ip == kIpNone) {
+      send_probe_reply(*pkt, in_port);
+    } else {
+      ++stats_.ttl_drops;
+    }
+    return;
+  }
+  forward(std::move(pkt), in_port);
+}
+
+void Switch::forward(PacketPtr pkt, int in_port) {
+  const IpAddr dst = pkt->wire_dst();
+  const std::vector<int>* ports = route(dst);
+  if (ports == nullptr || ports->empty()) {
+    ++stats_.no_route_drops;
+    CLOVE_TRACE(sim_.now(), name().c_str(), "no route to %u", dst);
+    return;
+  }
+  const int egress = select_port(*pkt, *ports, in_port);
+  on_forward(*pkt, egress, in_port);
+  ++stats_.forwarded;
+  port(egress)->enqueue(std::move(pkt));
+}
+
+int Switch::select_port(const Packet& pkt, const std::vector<int>& ports,
+                        int /*in_port*/) {
+  if (ports.size() == 1) return ports[0];
+  return ports[hash_tuple(pkt.wire_tuple(), id()) % ports.size()];
+}
+
+void Switch::on_forward(Packet& /*pkt*/, int /*egress_port*/, int /*in_port*/) {}
+
+void Switch::send_probe_reply(const Packet& probe, int in_port) {
+  // Models the ICMP Time-Exceeded message a real switch would emit: a small
+  // packet routed back to the prober, identifying the ingress interface it
+  // arrived on (which is what lets traceroute tell parallel links apart).
+  auto reply = make_packet();
+  reply->inner.src_ip = ip();
+  reply->inner.dst_ip = probe.wire_src();
+  reply->inner.proto = Proto::kProbeReply;
+  reply->payload = 64;
+  reply->ttl = 64;
+  reply->probe = probe.probe;
+  reply->probe.hop_ip = ip();
+  reply->probe.hop_ingress = in_port;
+  reply->probe.from_destination = false;
+  ++stats_.probe_replies;
+  forward(std::move(reply), -1);
+}
+
+}  // namespace clove::net

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace clove::net {
+
+/// Per-switch forwarding counters.
+struct SwitchStats {
+  std::uint64_t forwarded{0};
+  std::uint64_t no_route_drops{0};
+  std::uint64_t ttl_drops{0};
+  std::uint64_t probe_replies{0};
+};
+
+/// A standard off-the-shelf L3 switch: shortest-path routes with ECMP
+/// hashing over the wire 5-tuple, TTL handling, and TTL-expiry replies to
+/// traceroute probes (the only switch feature Clove's path discovery needs).
+///
+/// The ECMP hash is salted with the switch id so different switches make
+/// independent decisions, exactly like per-device hash seeds in real gear.
+/// The next-hop is `hash % n_nexthops` — so any change in the size of the
+/// next-hop set (e.g. a link failure) remaps all flows, the property that
+/// forces Clove to re-run path discovery after topology changes (§3.1).
+class Switch : public Node {
+ public:
+  Switch(sim::Simulator& sim, NodeId id, std::string name)
+      : Node(id, std::move(name)), sim_(sim) {}
+
+  void receive(PacketPtr pkt, int in_port) override;
+
+  /// Replace the ECMP port set for a destination IP.
+  void set_route(IpAddr dst, std::vector<int> ports) {
+    routes_[dst] = std::move(ports);
+  }
+  void clear_routes() { routes_.clear(); }
+
+  [[nodiscard]] const std::vector<int>* route(IpAddr dst) const {
+    auto it = routes_.find(dst);
+    return it == routes_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const SwitchStats& stats() const { return stats_; }
+
+  /// The ECMP port choice this switch would make for a tuple (exposed so
+  /// tests can verify discovery finds the true mapping).
+  [[nodiscard]] int ecmp_port(const FiveTuple& t, std::size_t n) const {
+    return static_cast<int>(hash_tuple(t, id()) % n);
+  }
+
+ protected:
+  /// Hook for subclasses (CONGA / LetFlow leaves) to override the egress
+  /// port choice for routable packets. Default: ECMP hash over wire tuple.
+  virtual int select_port(const Packet& pkt, const std::vector<int>& ports,
+                          int in_port);
+
+  /// Hook invoked before forwarding, after TTL handling (for feedback
+  /// piggybacking etc.). Default: no-op.
+  virtual void on_forward(Packet& pkt, int egress_port, int in_port);
+
+  void forward(PacketPtr pkt, int in_port);
+  void send_probe_reply(const Packet& probe, int in_port);
+
+  sim::Simulator& sim_;
+  SwitchStats stats_;
+
+ private:
+  std::unordered_map<IpAddr, std::vector<int>> routes_;
+};
+
+}  // namespace clove::net

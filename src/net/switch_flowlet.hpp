@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace clove::net {
+
+/// In-switch flowlet table, as used by CONGA and LetFlow: maps a flow key to
+/// the path decision of its current flowlet. A packet arriving more than
+/// `gap` after the flow's previous packet starts a new flowlet.
+class SwitchFlowletTable {
+ public:
+  explicit SwitchFlowletTable(sim::Time gap = 200 * sim::kMicrosecond)
+      : gap_(gap) {}
+
+  struct Decision {
+    bool new_flowlet;
+    std::uint32_t value;  ///< the stored path choice (tag / port)
+  };
+
+  /// Look up the flow; `value` is only meaningful when !new_flowlet.
+  [[nodiscard]] Decision touch(std::uint64_t key, sim::Time now) {
+    auto [it, inserted] = table_.try_emplace(key, Entry{now, 0});
+    if (inserted) return {true, 0};
+    const bool fresh = now - it->second.last_seen <= gap_;
+    it->second.last_seen = now;
+    return {!fresh, it->second.value};
+  }
+
+  void set_value(std::uint64_t key, std::uint32_t value) {
+    table_[key].value = value;
+  }
+
+  void set_gap(sim::Time gap) { gap_ = gap; }
+  [[nodiscard]] sim::Time gap() const { return gap_; }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  /// Drop entries idle for more than `idle` (housekeeping for long runs).
+  void expire(sim::Time now, sim::Time idle) {
+    for (auto it = table_.begin(); it != table_.end();) {
+      it = (now - it->second.last_seen > idle) ? table_.erase(it) : ++it;
+    }
+  }
+
+ private:
+  struct Entry {
+    sim::Time last_seen;
+    std::uint32_t value;
+  };
+  std::unordered_map<std::uint64_t, Entry> table_;
+  sim::Time gap_;
+};
+
+}  // namespace clove::net

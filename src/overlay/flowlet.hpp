@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace clove::overlay {
+
+/// Hypervisor-side flowlet detection (§3.2): packets of a flow separated by
+/// an idle gap larger than `gap` form a new flowlet that may be re-routed.
+/// The table also remembers the routing decision (outer source port) of the
+/// current flowlet so every packet of a flowlet takes the same path.
+class FlowletTracker {
+ public:
+  explicit FlowletTracker(sim::Time gap = 100 * sim::kMicrosecond) : gap_(gap) {}
+
+  struct Touch {
+    bool new_flowlet;
+    std::uint32_t flowlet_id;
+    std::uint16_t port;  ///< previous decision; valid when !new_flowlet
+  };
+
+  /// Record a packet of `flow` at `now`, using the default gap.
+  Touch touch(const net::FiveTuple& flow, sim::Time now) {
+    return touch(flow, now, gap_);
+  }
+
+  /// Record a packet with an explicit gap (§7 "Flowlet optimization": the
+  /// gap may adapt to the RTT spread between a destination's paths).
+  Touch touch(const net::FiveTuple& flow, sim::Time now, sim::Time gap) {
+    auto [it, inserted] = table_.try_emplace(flow, Entry{});
+    Entry& e = it->second;
+    const bool fresh = !inserted && (now - e.last_seen <= gap);
+    e.last_seen = now;
+    if (fresh) return {false, e.flowlet_id, e.port};
+    ++e.flowlet_id;
+    ++flowlets_started_;
+    return {true, e.flowlet_id, e.port};
+  }
+
+  /// Store the routing decision for the flow's current flowlet.
+  void set_port(const net::FiveTuple& flow, std::uint16_t port) {
+    table_[flow].port = port;
+  }
+
+  void set_gap(sim::Time gap) { gap_ = gap; }
+  [[nodiscard]] sim::Time gap() const { return gap_; }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] std::uint64_t flowlets_started() const { return flowlets_started_; }
+
+  /// Housekeeping: drop entries idle longer than `idle`.
+  void expire(sim::Time now, sim::Time idle) {
+    for (auto it = table_.begin(); it != table_.end();) {
+      it = (now - it->second.last_seen > idle) ? table_.erase(it) : ++it;
+    }
+  }
+
+ private:
+  struct Entry {
+    sim::Time last_seen{-1};
+    std::uint16_t port{0};
+    std::uint32_t flowlet_id{0};
+  };
+  std::unordered_map<net::FiveTuple, Entry, net::FiveTupleHash> table_;
+  sim::Time gap_;
+  std::uint64_t flowlets_started_{0};
+};
+
+}  // namespace clove::overlay

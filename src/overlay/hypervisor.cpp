@@ -1,0 +1,267 @@
+#include "overlay/hypervisor.hpp"
+
+#include "net/link.hpp"
+#include "sim/logging.hpp"
+
+namespace clove::overlay {
+
+Hypervisor::Hypervisor(net::NodeId id, std::string name, sim::Simulator& sim,
+                       HypervisorConfig cfg, std::unique_ptr<lb::Policy> policy)
+    : net::Node(id, std::move(name)),
+      sim_(sim),
+      cfg_(cfg),
+      policy_(std::move(policy)) {
+  traceroute_ = std::make_unique<TracerouteDaemon>(
+      sim_, ip(), cfg_.discovery,
+      [this](net::PacketPtr p) { nic_send(std::move(p)); },
+      [this](net::IpAddr dst, const PathSet& ps) {
+        policy_->on_paths_updated(dst, ps);
+      });
+  if (cfg_.reorder_buffer) {
+    reorder_ = std::make_unique<ReorderBuffer>(
+        sim_, cfg_.reorder,
+        [this](net::PacketPtr p) { deliver_to_vm(std::move(p)); });
+  }
+}
+
+void Hypervisor::register_endpoint(const net::FiveTuple& tuple,
+                                   transport::TcpEndpoint* ep) {
+  endpoints_[tuple] = ep;
+}
+
+void Hypervisor::start_discovery(const std::vector<net::IpAddr>& peers) {
+  for (net::IpAddr p : peers) {
+    if (p != ip()) traceroute_->add_destination(p);
+  }
+}
+
+void Hypervisor::nic_send(net::PacketPtr pkt) {
+  if (port_count() == 0) return;  // unwired host (unit tests)
+  ports_[0]->enqueue(std::move(pkt));
+}
+
+// ---------------------------------------------------------------------------
+// Egress: VM -> vswitch -> NIC
+// ---------------------------------------------------------------------------
+
+void Hypervisor::vm_send(net::PacketPtr pkt) {
+  const net::IpAddr dst = pkt->inner.dst_ip;
+  if (dst == ip()) {
+    ++stats_.local_deliveries;
+    deliver_to_vm(std::move(pkt));
+    return;
+  }
+
+  const std::uint16_t port = policy_->pick_port(*pkt, dst, sim_.now());
+
+  if (cfg_.overlay) {
+    ++stats_.encapped;
+    pkt->encap.present = true;
+    pkt->encap.tuple =
+        net::FiveTuple{ip(), dst, port, kSttPort, net::Proto::kStt};
+    pkt->encap.ecn.ect = policy_->wants_ect();
+    pkt->encap.ecn.ce = false;
+    pkt->int_stack.enabled = policy_->wants_int();
+    pkt->int_stack.count = 0;
+  } else {
+    // §7 non-overlay mode: rewrite the tenant source port in place; the
+    // original travels in TCP options and is restored at the destination.
+    pkt->rewrite.rewritten = true;
+    pkt->rewrite.orig_src_port = pkt->inner.src_port;
+    pkt->inner.src_port = port;
+    // The fabric marks the inner header directly in this mode.
+    pkt->tcp.ect = pkt->tcp.ect || policy_->wants_ect();
+    pkt->int_stack.enabled = policy_->wants_int();
+    pkt->int_stack.count = 0;
+  }
+
+  attach_feedback(dst, *pkt);
+  pkt->sent_at = sim_.now();  // NIC timestamp for one-way-delay telemetry
+  pkt->ttl = 64;
+  nic_send(std::move(pkt));
+}
+
+void Hypervisor::attach_feedback(net::IpAddr peer, net::Packet& pkt) {
+  auto it = pending_fb_.find(peer);
+  if (it == pending_fb_.end()) return;
+  PeerFeedback& pf = it->second;
+  if (pf.rr_order.empty()) return;
+
+  // Round-robin across forward ports, relaying at most one port's state per
+  // packet and at most once per relay interval per port (§3.2: calibrated
+  // response, amortized per-packet cost).
+  for (std::size_t scan = 0; scan < pf.rr_order.size(); ++scan) {
+    pf.rr_next = (pf.rr_next + 1) % pf.rr_order.size();
+    const std::uint16_t port = pf.rr_order[pf.rr_next];
+    PendingFeedback& fb = pf.ports[port];
+    const bool has_news = fb.ecn_pending || fb.has_util || fb.has_latency;
+    if (!has_news) continue;
+    if (fb.last_relayed >= 0 &&
+        sim_.now() - fb.last_relayed < cfg_.feedback_relay_interval) {
+      continue;
+    }
+    net::CloveFeedback& out = pkt.encap.feedback;
+    out.present = true;
+    out.port = port;
+    out.ecn_set = fb.ecn_pending;
+    out.has_util = fb.has_util;
+    out.util = fb.util;
+    out.has_latency = fb.has_latency;
+    out.latency = fb.latency;
+    fb.ecn_pending = false;
+    fb.has_util = false;
+    fb.has_latency = false;
+    fb.last_relayed = sim_.now();
+    ++stats_.feedback_attached;
+    return;
+  }
+}
+
+void Hypervisor::note_feedback(
+    net::IpAddr peer, std::uint16_t port,
+    const std::function<void(PendingFeedback&)>& update) {
+  PeerFeedback& pf = pending_fb_[peer];
+  auto [it, inserted] = pf.ports.try_emplace(port);
+  if (inserted) pf.rr_order.push_back(port);
+  update(it->second);
+}
+
+// ---------------------------------------------------------------------------
+// Ingress: NIC -> vswitch -> VM
+// ---------------------------------------------------------------------------
+
+void Hypervisor::receive(net::PacketPtr pkt, int /*in_port*/) {
+  if (pkt->inner.proto == net::Proto::kProbeReply) {
+    handle_probe_reply(*pkt);
+    return;
+  }
+  if (pkt->probe.probe_id != 0) {
+    handle_probe(std::move(pkt));
+    return;
+  }
+  handle_data(std::move(pkt));
+}
+
+void Hypervisor::handle_probe(net::PacketPtr pkt) {
+  // A traceroute probe survived to the destination hypervisor: answer it so
+  // the prober learns the path is complete (§3.1).
+  auto reply = net::make_packet();
+  reply->inner.src_ip = ip();
+  reply->inner.dst_ip = pkt->wire_src();
+  reply->inner.proto = net::Proto::kProbeReply;
+  reply->payload = 64;
+  reply->ttl = 64;
+  reply->probe = pkt->probe;
+  reply->probe.hop_ip = ip();
+  reply->probe.hop_ingress = 0;  // the single NIC interface
+  reply->probe.from_destination = true;
+  ++stats_.dest_probe_replies;
+  nic_send(std::move(reply));
+}
+
+void Hypervisor::handle_probe_reply(const net::Packet& pkt) {
+  traceroute_->on_reply(pkt);
+}
+
+void Hypervisor::handle_data(net::PacketPtr pkt) {
+  net::IpAddr peer = net::kIpNone;
+
+  if (pkt->encap.present) {
+    peer = pkt->encap.tuple.src_ip;
+    ++stats_.decapped;
+
+    // (a) Congestion interception (§3.2 "Detecting Congestion"): the outer
+    // CE mark is recorded for relay to the sender and masked from the VM.
+    if (pkt->encap.ecn.ce) {
+      ++stats_.ce_intercepted;
+      const std::uint16_t fwd_port = pkt->encap.tuple.src_port;
+      note_feedback(peer, fwd_port,
+                    [](PendingFeedback& fb) { fb.ecn_pending = true; });
+    }
+    // (b) INT: relay the max egress-link utilization seen along the path.
+    if (pkt->int_stack.enabled && pkt->int_stack.count > 0) {
+      const double u = pkt->int_stack.max_util();
+      const std::uint16_t fwd_port = pkt->encap.tuple.src_port;
+      note_feedback(peer, fwd_port, [u](PendingFeedback& fb) {
+        fb.has_util = true;
+        fb.util = u;
+      });
+    }
+    // (c) One-way latency (Clove-Latency extension).
+    if (cfg_.measure_latency) {
+      const sim::Time delay = sim_.now() - pkt->sent_at;
+      const std::uint16_t fwd_port = pkt->encap.tuple.src_port;
+      note_feedback(peer, fwd_port, [delay](PendingFeedback& fb) {
+        fb.has_latency = true;
+        fb.latency = delay;
+      });
+    }
+    // (d) Feedback bits about OUR forward paths, relayed by the peer.
+    if (pkt->encap.feedback.present) {
+      ++stats_.feedback_received;
+      policy_->on_feedback(peer, pkt->encap.feedback, sim_.now());
+    }
+    // Decapsulate. Outer CE is deliberately NOT copied to the inner header.
+    pkt->encap = net::EncapHeader{};
+  } else {
+    // Non-overlay mode (§7): restore the rewritten source port and process
+    // the feedback that rode in TCP options.
+    if (pkt->rewrite.rewritten) {
+      pkt->inner.src_port = pkt->rewrite.orig_src_port;
+      pkt->rewrite = net::RewriteInfo{};
+    }
+    peer = pkt->inner.src_ip;
+    if (pkt->encap.feedback.present) {
+      ++stats_.feedback_received;
+      policy_->on_feedback(peer, pkt->encap.feedback, sim_.now());
+      pkt->encap.feedback = net::CloveFeedback{};
+    }
+    if (pkt->tcp.ce) {
+      // Inner marking reached us directly; treat like outer CE: record for
+      // relay and mask from the VM.
+      ++stats_.ce_intercepted;
+      const std::uint16_t fwd_port = pkt->inner.dst_port;
+      note_feedback(peer, fwd_port,
+                    [](PendingFeedback& fb) { fb.ecn_pending = true; });
+      pkt->tcp.ce = false;
+    }
+  }
+
+  // (e) §3.2: only when ALL paths to the peer are congested is ECN relayed
+  // into the sending VM — modeled by forging ECE on the inbound ACKs that
+  // VM's TCP is clocked by.
+  if (peer != net::kIpNone && pkt->tcp.flags.ack &&
+      policy_->all_paths_congested(peer, sim_.now())) {
+    if (!pkt->tcp.flags.ece) ++stats_.forged_ece;
+    pkt->tcp.flags.ece = true;
+  }
+
+  if (reorder_ && pkt->payload > 0) {
+    reorder_->offer(std::move(pkt));
+  } else {
+    deliver_to_vm(std::move(pkt));
+  }
+}
+
+void Hypervisor::deliver_to_vm(net::PacketPtr pkt) {
+  const net::FiveTuple key = pkt->inner.reversed();
+  auto it = endpoints_.find(key);
+  if (it == endpoints_.end()) {
+    if (pkt->payload == 0) {
+      ++stats_.no_endpoint_drops;  // stray ACK for a finished endpoint
+      return;
+    }
+    // First packet of an inbound flow: the "listening" VM stack spins up a
+    // receiver (connection setup is not modeled; see DESIGN.md).
+    auto rx = std::make_unique<transport::TcpReceiver>(*this, key, cfg_.tcp);
+    transport::TcpReceiver* raw = rx.get();
+    owned_receivers_.push_back(std::move(rx));
+    endpoints_[key] = raw;
+    if (on_new_receiver) on_new_receiver(*raw, pkt->inner);
+    raw->on_packet(std::move(pkt));
+    return;
+  }
+  it->second->on_packet(std::move(pkt));
+}
+
+}  // namespace clove::overlay

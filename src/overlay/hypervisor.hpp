@@ -1,0 +1,123 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lb/policy.hpp"
+#include "net/node.hpp"
+#include "overlay/reorder_buffer.hpp"
+#include "overlay/traceroute.hpp"
+#include "sim/simulator.hpp"
+#include "transport/tcp.hpp"
+
+namespace clove::overlay {
+
+/// Knobs of the hypervisor vswitch datapath.
+struct HypervisorConfig {
+  /// Overlay (STT encapsulation) vs non-overlay (§7 five-tuple rewriting).
+  bool overlay{true};
+  /// Receiver-side feedback relay cadence per path ("half the RTT" in §3.2).
+  sim::Time feedback_relay_interval{50 * sim::kMicrosecond};
+  /// Enable receiver-side reassembly (Presto; §7 flowlet optimization).
+  bool reorder_buffer{false};
+  ReorderConfig reorder{};
+  /// Path discovery settings (used when the policy needs_discovery()).
+  TracerouteConfig discovery{};
+  /// Measure one-way delay and relay it (Clove-Latency extension, §7).
+  bool measure_latency{false};
+  /// TCP config used for auto-created receivers.
+  transport::TcpConfig tcp{};
+};
+
+/// Datapath counters of one hypervisor vswitch.
+struct HypervisorStats {
+  std::uint64_t encapped{0};
+  std::uint64_t decapped{0};
+  std::uint64_t feedback_attached{0};
+  std::uint64_t feedback_received{0};
+  std::uint64_t ce_intercepted{0};   ///< outer CE marks masked from the VM
+  std::uint64_t forged_ece{0};       ///< ECN relayed into the VM (§3.2)
+  std::uint64_t dest_probe_replies{0};
+  std::uint64_t local_deliveries{0};
+  std::uint64_t no_endpoint_drops{0};
+};
+
+/// A hypervisor host: the tenant-VM TCP endpoints above, the physical NIC
+/// below, and in between the Clove virtual switch — encapsulation with
+/// policy-chosen source ports, flowlet routing (inside the policy), ECN/INT
+/// feedback interception and relay via STT-context bits, ECN masking, path
+/// discovery probes, and (optionally) Presto flowcell reassembly.
+class Hypervisor : public net::Node, public transport::VmPort {
+ public:
+  Hypervisor(net::NodeId id, std::string name, sim::Simulator& sim,
+             HypervisorConfig cfg, std::unique_ptr<lb::Policy> policy);
+
+  // --- transport::VmPort (VM-facing side) ------------------------------
+  void vm_send(net::PacketPtr pkt) override;
+  sim::Simulator& simulator() override { return sim_; }
+
+  // --- net::Node (NIC-facing side) --------------------------------------
+  void receive(net::PacketPtr pkt, int in_port) override;
+
+  // --- endpoint registry -------------------------------------------------
+  /// Register a locally-owned endpoint (a sender created by a workload app).
+  /// Keyed by the endpoint's own outbound tuple.
+  void register_endpoint(const net::FiveTuple& tuple,
+                         transport::TcpEndpoint* ep);
+  /// Fired when an inbound flow auto-creates a receiver (so apps can attach
+  /// delivery callbacks, e.g. incast servers).
+  std::function<void(transport::TcpReceiver&, const net::FiveTuple& from)>
+      on_new_receiver;
+
+  // --- path discovery ----------------------------------------------------
+  /// Start (periodic) path discovery towards the given peer hypervisors.
+  void start_discovery(const std::vector<net::IpAddr>& peers);
+  [[nodiscard]] TracerouteDaemon& discovery() { return *traceroute_; }
+
+  [[nodiscard]] lb::Policy& policy() { return *policy_; }
+  [[nodiscard]] const HypervisorStats& stats() const { return stats_; }
+  [[nodiscard]] const HypervisorConfig& config() const { return cfg_; }
+
+ private:
+  /// Pending feedback accumulated for one (peer, forward source port).
+  struct PendingFeedback {
+    bool ecn_pending{false};
+    bool has_util{false};
+    double util{0.0};
+    bool has_latency{false};
+    sim::Time latency{0};
+    sim::Time last_relayed{-1};
+  };
+  struct PeerFeedback {
+    std::unordered_map<std::uint16_t, PendingFeedback> ports;
+    std::vector<std::uint16_t> rr_order;  ///< round-robin relay order
+    std::size_t rr_next{0};
+  };
+
+  void nic_send(net::PacketPtr pkt);
+  void handle_probe(net::PacketPtr pkt);
+  void handle_probe_reply(const net::Packet& pkt);
+  void handle_data(net::PacketPtr pkt);
+  void deliver_to_vm(net::PacketPtr pkt);
+  void attach_feedback(net::IpAddr peer, net::Packet& pkt);
+  void note_feedback(net::IpAddr peer, std::uint16_t port,
+                     const std::function<void(PendingFeedback&)>& update);
+
+  sim::Simulator& sim_;
+  HypervisorConfig cfg_;
+  std::unique_ptr<lb::Policy> policy_;
+  std::unique_ptr<TracerouteDaemon> traceroute_;
+  std::unique_ptr<ReorderBuffer> reorder_;
+
+  std::unordered_map<net::FiveTuple, transport::TcpEndpoint*,
+                     net::FiveTupleHash>
+      endpoints_;
+  std::vector<std::unique_ptr<transport::TcpReceiver>> owned_receivers_;
+  std::unordered_map<net::IpAddr, PeerFeedback> pending_fb_;
+
+  HypervisorStats stats_;
+};
+
+}  // namespace clove::overlay

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace clove::overlay {
+
+struct ReorderConfig {
+  sim::Time flush_timeout{500 * sim::kMicrosecond};  ///< Presto's "empirical
+                                                     ///< static timeout"
+  std::uint64_t max_flow_bytes{2u << 20};  ///< cap before a forced flush
+};
+
+/// Receiver-side flowcell/flowlet reassembly (Presto §5 baseline, also the
+/// optional Clove flowlet-reordering extension of §7): inner data packets of
+/// a flow are delivered to the VM strictly by sequence; out-of-order arrivals
+/// are held until the gap fills, a timeout fires (loss recovery must proceed)
+/// or the buffer cap is hit. Pure ACKs bypass the buffer (cumulative ACKs
+/// are reorder-tolerant).
+class ReorderBuffer {
+ public:
+  using DeliverFn = std::function<void(net::PacketPtr)>;
+
+  ReorderBuffer(sim::Simulator& sim, const ReorderConfig& cfg, DeliverFn deliver)
+      : sim_(sim), cfg_(cfg), deliver_(std::move(deliver)) {}
+
+  /// Offer an inner data packet (payload > 0).
+  void offer(net::PacketPtr pkt) {
+    Flow& f = flow_for(pkt->inner);
+    const std::uint64_t seq = pkt->tcp.seq;
+    const std::uint64_t end = seq + pkt->payload;
+    if (seq <= f.next_seq) {
+      // In order (or a retransmission of delivered data): pass through.
+      f.next_seq = std::max(f.next_seq, end);
+      deliver_(std::move(pkt));
+      drain(f);
+      return;
+    }
+    ++held_;
+    f.buffered_bytes += pkt->payload;
+    f.buf.emplace(seq, std::move(pkt));
+    if (f.buffered_bytes > cfg_.max_flow_bytes) {
+      flush(f);
+    } else if (!f.timer->pending()) {
+      f.timer->schedule_in(cfg_.flush_timeout);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t packets_held() const { return held_; }
+  [[nodiscard]] std::uint64_t forced_flushes() const { return flushes_; }
+
+ private:
+  struct Flow {
+    std::uint64_t next_seq{0};
+    std::multimap<std::uint64_t, net::PacketPtr> buf;
+    std::uint64_t buffered_bytes{0};
+    std::unique_ptr<sim::Timer> timer;
+  };
+
+  Flow& flow_for(const net::FiveTuple& t) {
+    auto [it, inserted] = flows_.try_emplace(t);
+    Flow& f = it->second;
+    if (inserted) {
+      f.timer = std::make_unique<sim::Timer>(sim_, [this, &f] { flush(f); });
+    }
+    return f;
+  }
+
+  /// Deliver buffered packets that became contiguous.
+  void drain(Flow& f) {
+    while (!f.buf.empty() && f.buf.begin()->first <= f.next_seq) {
+      auto it = f.buf.begin();
+      net::PacketPtr pkt = std::move(it->second);
+      f.buf.erase(it);
+      f.buffered_bytes -= pkt->payload;
+      f.next_seq = std::max(f.next_seq, pkt->tcp.seq + pkt->payload);
+      deliver_(std::move(pkt));
+    }
+    if (f.buf.empty()) f.timer->cancel();
+  }
+
+  /// Timeout or overflow: give up on the gap and release everything in
+  /// sequence order, letting the VM TCP handle the hole.
+  void flush(Flow& f) {
+    ++flushes_;
+    while (!f.buf.empty()) {
+      auto it = f.buf.begin();
+      net::PacketPtr pkt = std::move(it->second);
+      f.buf.erase(it);
+      f.buffered_bytes -= pkt->payload;
+      f.next_seq = std::max(f.next_seq, pkt->tcp.seq + pkt->payload);
+      deliver_(std::move(pkt));
+    }
+    f.timer->cancel();
+  }
+
+  sim::Simulator& sim_;
+  ReorderConfig cfg_;
+  DeliverFn deliver_;
+  std::unordered_map<net::FiveTuple, Flow, net::FiveTupleHash> flows_;
+  std::uint64_t held_{0};
+  std::uint64_t flushes_{0};
+};
+
+}  // namespace clove::overlay

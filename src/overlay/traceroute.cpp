@@ -1,0 +1,180 @@
+#include "overlay/traceroute.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "sim/logging.hpp"
+
+namespace clove::overlay {
+
+TracerouteDaemon::TracerouteDaemon(sim::Simulator& sim, net::IpAddr self,
+                                   const TracerouteConfig& cfg, SendFn send,
+                                   PathsCallback on_paths, std::uint64_t seed)
+    : sim_(sim),
+      self_(self),
+      cfg_(cfg),
+      send_(std::move(send)),
+      on_paths_(std::move(on_paths)),
+      rng_(seed ^ (static_cast<std::uint64_t>(self) << 20)) {}
+
+void TracerouteDaemon::add_destination(net::IpAddr dst) {
+  auto [it, inserted] = dsts_.try_emplace(dst);
+  if (!inserted) return;
+  probe_now(dst);
+}
+
+void TracerouteDaemon::probe_now(net::IpAddr dst) {
+  DstState& st = dsts_[dst];
+  if (st.round.open) return;  // a round is already collecting
+
+  st.round = Round{};
+  st.round.id = next_round_id_++;
+  st.round.open = true;
+  round_owner_[st.round.id] = dst;
+
+  // Sample distinct random encapsulation source ports.
+  std::unordered_set<std::uint16_t> ports;
+  while (static_cast<int>(ports.size()) < cfg_.sample_ports) {
+    ports.insert(static_cast<std::uint16_t>(
+        kEphemeralBase + rng_.uniform_int(kEphemeralCount)));
+  }
+
+  for (std::uint16_t port : ports) {
+    st.round.traces.try_emplace(port);
+    for (int ttl = 1; ttl <= cfg_.max_ttl; ++ttl) {
+      auto probe = net::make_packet();
+      probe->encap.present = true;
+      probe->encap.tuple = net::FiveTuple{self_, dst, port, kSttPort,
+                                          net::Proto::kStt};
+      probe->inner = probe->encap.tuple;  // probes carry no tenant payload
+      probe->payload = 0;
+      probe->ttl = static_cast<std::uint8_t>(ttl);
+      probe->probe.probe_id = st.round.id;
+      probe->probe.probed_port = port;
+      probe->probe.hop_index = static_cast<std::uint8_t>(ttl);
+      probe->sent_at = sim_.now();
+      ++probes_sent_;
+      send_(std::move(probe));
+    }
+  }
+
+  sim_.schedule_in(cfg_.probe_timeout, [this, dst] { finish_round(dst); });
+}
+
+void TracerouteDaemon::on_reply(const net::Packet& pkt) {
+  auto oit = round_owner_.find(pkt.probe.probe_id);
+  if (oit == round_owner_.end()) return;  // a stale round's straggler
+  DstState& st = dsts_[oit->second];
+  if (!st.round.open || st.round.id != pkt.probe.probe_id) return;
+
+  auto tit = st.round.traces.find(pkt.probe.probed_port);
+  if (tit == st.round.traces.end()) return;
+  PortTrace& trace = tit->second;
+  const int hop = pkt.probe.hop_index;
+  if (pkt.probe.from_destination) {
+    if (trace.dest_reached_at == 0 || hop < trace.dest_reached_at) {
+      trace.dest_reached_at = hop;
+      trace.dest_ingress = pkt.probe.hop_ingress;
+    }
+  } else {
+    trace.hops[hop] = PathHop{pkt.probe.hop_ip, pkt.probe.hop_ingress};
+  }
+}
+
+void TracerouteDaemon::finish_round(net::IpAddr dst) {
+  DstState& st = dsts_[dst];
+  if (!st.round.open) return;
+  st.round.open = false;
+  round_owner_.erase(st.round.id);
+
+  // Assemble candidate paths: a port's trace is usable when we saw a
+  // destination reply at hop D and contiguous switch hops 1..D-1.
+  std::vector<PathInfo> candidates;
+  for (auto& [port, trace] : st.round.traces) {
+    if (trace.dest_reached_at == 0) continue;
+    PathInfo info;
+    info.port = port;
+    bool complete = true;
+    for (int h = 1; h < trace.dest_reached_at; ++h) {
+      auto hit = trace.hops.find(h);
+      if (hit == trace.hops.end()) {
+        complete = false;
+        break;
+      }
+      info.hops.push_back(hit->second);
+    }
+    if (!complete) continue;
+    info.hops.push_back(PathHop{dst, trace.dest_ingress});
+    candidates.push_back(std::move(info));
+  }
+
+  std::vector<PathInfo> chosen = select_disjoint(std::move(candidates),
+                                                 cfg_.k_paths);
+  if (!chosen.empty()) {
+    st.current.paths = std::move(chosen);
+    st.current.discovered_at = sim_.now();
+    ++rounds_completed_;
+    if (on_paths_) on_paths_(dst, st.current);
+  }
+  schedule_next(dst);
+}
+
+std::vector<PathInfo> TracerouteDaemon::select_disjoint(
+    std::vector<PathInfo> candidates, int k) {
+  // Deduplicate by signature (many ports hash to the same physical path);
+  // keep the lowest port per path for determinism.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PathInfo& a, const PathInfo& b) { return a.port < b.port; });
+  std::vector<PathInfo> unique;
+  std::unordered_set<std::string> seen;
+  for (auto& c : candidates) {
+    if (seen.insert(c.signature()).second) unique.push_back(std::move(c));
+  }
+
+  // Greedy: repeatedly add the path sharing the fewest links with the
+  // already-chosen set (§3.1's heuristic).
+  std::vector<PathInfo> chosen;
+  std::vector<bool> used(unique.size(), false);
+  while (static_cast<int>(chosen.size()) < k) {
+    int best = -1;
+    int best_shared = std::numeric_limits<int>::max();
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      if (used[i]) continue;
+      int shared = 0;
+      for (const auto& c : chosen) shared += unique[i].shared_links(c);
+      if (shared < best_shared) {
+        best_shared = shared;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    used[static_cast<std::size_t>(best)] = true;
+    chosen.push_back(unique[static_cast<std::size_t>(best)]);
+  }
+  std::sort(chosen.begin(), chosen.end(),
+            [](const PathInfo& a, const PathInfo& b) { return a.port < b.port; });
+  return chosen;
+}
+
+void TracerouteDaemon::schedule_next(net::IpAddr dst) {
+  DstState& st = dsts_[dst];
+  if (st.scheduled) return;
+  st.scheduled = true;
+  const double jitter =
+      1.0 + cfg_.interval_jitter * (2.0 * rng_.uniform() - 1.0);
+  const sim::Time delay = static_cast<sim::Time>(
+      static_cast<double>(cfg_.probe_interval) * jitter);
+  sim_.schedule_in(delay, [this, dst] {
+    dsts_[dst].scheduled = false;
+    probe_now(dst);
+  });
+}
+
+const PathSet* TracerouteDaemon::paths(net::IpAddr dst) const {
+  auto it = dsts_.find(dst);
+  if (it == dsts_.end() || it->second.current.empty()) return nullptr;
+  return &it->second.current;
+}
+
+}  // namespace clove::overlay

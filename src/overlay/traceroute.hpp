@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "overlay/paths.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace clove::overlay {
+
+struct TracerouteConfig {
+  int sample_ports{32};   ///< random encap source ports probed per round
+  int k_paths{4};         ///< disjoint paths to keep (§3.1: "k source ports")
+  int max_ttl{6};         ///< TTL ladder length per probed port
+  sim::Time probe_interval{500 * sim::kMillisecond};  ///< re-probe cadence
+  sim::Time probe_timeout{20 * sim::kMillisecond};    ///< round collection time
+  double interval_jitter{0.1};  ///< de-synchronizes rounds across hypervisors
+};
+
+/// The user-space traceroute daemon of §3.1/§4: per destination hypervisor,
+/// periodically sends TTL-laddered probes over randomized encapsulation
+/// source ports. Switches answer TTL expiry with their identity; the
+/// destination hypervisor answers probes that reach it. From the replies the
+/// daemon reconstructs the port->path mapping, then greedily keeps k ports
+/// whose paths share the fewest links ("add the path that shares the least
+/// number of links with paths already picked").
+class TracerouteDaemon {
+ public:
+  /// Transmits an already-encapsulated probe packet out the host NIC.
+  using SendFn = std::function<void(net::PacketPtr)>;
+  /// Fired when a round completes with a fresh path set for `dst`.
+  using PathsCallback = std::function<void(net::IpAddr dst, const PathSet&)>;
+
+  TracerouteDaemon(sim::Simulator& sim, net::IpAddr self,
+                   const TracerouteConfig& cfg, SendFn send,
+                   PathsCallback on_paths, std::uint64_t seed = 0x7ace);
+
+  /// Begin (and keep) probing paths to `dst`. Idempotent.
+  void add_destination(net::IpAddr dst);
+  /// Launch a probe round immediately (also used after topology events).
+  void probe_now(net::IpAddr dst);
+
+  /// Feed a probe reply received by the hypervisor (switch TTL-expiry reply
+  /// or destination reply).
+  void on_reply(const net::Packet& pkt);
+
+  [[nodiscard]] const PathSet* paths(net::IpAddr dst) const;
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] int rounds_completed() const { return rounds_completed_; }
+
+  /// Exposed for tests: the greedy disjoint-path selection.
+  static std::vector<PathInfo> select_disjoint(std::vector<PathInfo> candidates,
+                                               int k);
+
+ private:
+  struct PortTrace {
+    std::map<int, PathHop> hops;  ///< hop_index -> (node, ingress interface)
+    int dest_reached_at{0};       ///< min hop_index of a destination reply
+    std::int32_t dest_ingress{0}; ///< NIC port the destination saw it on
+  };
+  struct Round {
+    std::uint32_t id{0};
+    std::unordered_map<std::uint16_t, PortTrace> traces;
+    bool open{false};
+  };
+  struct DstState {
+    PathSet current;
+    Round round;
+    bool scheduled{false};
+  };
+
+  void finish_round(net::IpAddr dst);
+  void schedule_next(net::IpAddr dst);
+
+  sim::Simulator& sim_;
+  net::IpAddr self_;
+  TracerouteConfig cfg_;
+  SendFn send_;
+  PathsCallback on_paths_;
+  sim::Rng rng_;
+
+  std::unordered_map<net::IpAddr, DstState> dsts_;
+  std::unordered_map<std::uint32_t, net::IpAddr> round_owner_;
+  std::uint32_t next_round_id_{1};
+  std::uint64_t probes_sent_{0};
+  int rounds_completed_{0};
+};
+
+}  // namespace clove::overlay

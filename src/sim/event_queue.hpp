@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace clove::sim {
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+struct EventId {
+  std::uint64_t seq{0};
+  [[nodiscard]] bool valid() const { return seq != 0; }
+  bool operator==(const EventId&) const = default;
+};
+
+/// A time-ordered queue of callbacks. Ties are broken by insertion order so
+/// that runs are fully deterministic. Cancellation is lazy: cancelled events
+/// stay in the heap but are skipped (and reclaimed) when they reach the top.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `at`. Returns a handle for cancellation.
+  EventId schedule(Time at, Callback cb) {
+    EventId id{++next_seq_};
+    heap_.push(Entry{at, id.seq, std::move(cb)});
+    return id;
+  }
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired event
+  /// is a no-op (callers should clear their handles on fire; see Simulator).
+  void cancel(EventId id) {
+    if (id.valid() && id.seq <= next_seq_) cancelled_.insert(id.seq);
+  }
+
+  [[nodiscard]] bool empty() { skim(); return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the next live event, or kTimeNever if none.
+  [[nodiscard]] Time next_time() {
+    skim();
+    return heap_.empty() ? kTimeNever : heap_.top().at;
+  }
+
+  /// Pop and run the next live event; returns its time, or kTimeNever when
+  /// the queue is empty.
+  Time run_next() {
+    skim();
+    if (heap_.empty()) return kTimeNever;
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    e.cb();
+    return e.at;
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  /// Drop cancelled entries from the top of the heap.
+  void skim() {
+    while (!heap_.empty() && !cancelled_.empty()) {
+      auto it = cancelled_.find(heap_.top().seq);
+      if (it == cancelled_.end()) break;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace clove::sim

@@ -1,0 +1,32 @@
+#include "sim/logging.hpp"
+
+#include <cstdarg>
+
+namespace clove::sim {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+namespace detail {
+
+void vlog(LogLevel lvl, Time now, const char* tag, const char* fmt, ...) {
+  const char* name = "?";
+  switch (lvl) {
+    case LogLevel::kError: name = "E"; break;
+    case LogLevel::kWarn: name = "W"; break;
+    case LogLevel::kInfo: name = "I"; break;
+    case LogLevel::kTrace: name = "T"; break;
+    case LogLevel::kNone: return;
+  }
+  std::fprintf(stderr, "[%s %12s %-12s] ", name, format_time(now).c_str(), tag);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace clove::sim

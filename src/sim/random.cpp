@@ -1,0 +1,9 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+namespace clove::sim {
+
+double Rng::log_approx(double x) { return std::log(x); }
+
+}  // namespace clove::sim

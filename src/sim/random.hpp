@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace clove::sim {
+
+/// xoshiro256++ pseudo-random generator: fast, high quality, reproducible
+/// across platforms (unlike distribution wrappers in <random>, whose outputs
+/// are implementation-defined). All distribution helpers below are hand
+/// rolled so experiments are bit-reproducible everywhere.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into the full state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n) via Lemire's method (unbiased for our use).
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) {
+    if (n == 0) return 0;
+    // Simple rejection-free multiply-shift; bias is < 2^-64 * n, negligible.
+    unsigned __int128 m = static_cast<unsigned __int128>(next()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) {
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * log_approx(u);
+  }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Returns 0 if all weights are zero or the vector is empty-safe fallback.
+  [[nodiscard]] std::size_t weighted_pick(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0 || weights.empty()) {
+      return weights.empty() ? 0 : uniform_int(weights.size());
+    }
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derive a statistically independent child generator (for per-entity RNGs).
+  [[nodiscard]] Rng fork() { return Rng{next() ^ 0xd1342543de82ef95ULL}; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  // std::log is fine and portable enough for doubles; wrapped for clarity.
+  static double log_approx(double x);
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace clove::sim

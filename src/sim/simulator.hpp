@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace clove::sim {
+
+/// The discrete-event simulation engine: a clock plus an event queue plus the
+/// root RNG. Every simulated entity holds a reference to one Simulator; there
+/// are no global singletons, so independent experiments can run side by side.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedule `cb` to run `delay` from now (delay may be zero, never negative).
+  EventId schedule_in(Time delay, EventQueue::Callback cb) {
+    return queue_.schedule(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Schedule `cb` at absolute time `at` (clamped to now).
+  EventId schedule_at(Time at, EventQueue::Callback cb) {
+    return queue_.schedule(at < now_ ? now_ : at, std::move(cb));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run until the queue drains or `until` is reached (events at exactly
+  /// `until` still run). Returns the number of events processed.
+  std::uint64_t run(Time until = kTimeNever) {
+    std::uint64_t n = 0;
+    while (!stopped_) {
+      Time t = queue_.next_time();
+      if (t == kTimeNever || t > until) break;
+      now_ = t;
+      queue_.run_next();
+      ++n;
+    }
+    events_processed_ += n;
+    return n;
+  }
+
+  /// Request that run() return after the current event finishes.
+  void stop() { stopped_ = true; }
+  void clear_stop() { stopped_ = false; }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  Time now_{0};
+  EventQueue queue_;
+  Rng rng_;
+  bool stopped_{false};
+  std::uint64_t events_processed_{0};
+};
+
+/// A restartable one-shot timer bound to a Simulator. Guarantees that a fired
+/// or cancelled timer never double-fires, and clears its handle on fire so
+/// that rescheduling is always safe.
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_(sim), on_fire_(std::move(on_fire)) {}
+
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arm the timer to fire `delay` from now. Cancels any pending firing.
+  void schedule_in(Time delay) {
+    cancel();
+    deadline_ = sim_.now() + delay;
+    id_ = sim_.schedule_in(delay, [this] {
+      id_ = EventId{};
+      on_fire_();
+    });
+  }
+
+  void cancel() {
+    if (id_.valid()) {
+      sim_.cancel(id_);
+      id_ = EventId{};
+    }
+  }
+
+  [[nodiscard]] bool pending() const { return id_.valid(); }
+  [[nodiscard]] Time deadline() const { return deadline_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_fire_;
+  EventId id_{};
+  Time deadline_{0};
+};
+
+}  // namespace clove::sim

@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace clove::sim {
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t == kTimeNever) return "never";
+  if (t < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  } else if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_microseconds(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_milliseconds(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds(t));
+  }
+  return buf;
+}
+
+}  // namespace clove::sim

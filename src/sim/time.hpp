@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clove::sim {
+
+/// Simulation time in integer nanoseconds. Signed so that differences and
+/// "not yet scheduled" sentinels are representable without surprises.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Sentinel for "no deadline" / "never".
+inline constexpr Time kTimeNever = INT64_MAX;
+
+[[nodiscard]] constexpr Time nanoseconds(std::int64_t n) { return n; }
+[[nodiscard]] constexpr Time microseconds(std::int64_t n) { return n * kMicrosecond; }
+[[nodiscard]] constexpr Time milliseconds(std::int64_t n) { return n * kMillisecond; }
+[[nodiscard]] constexpr Time seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+[[nodiscard]] constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+[[nodiscard]] constexpr double to_microseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+[[nodiscard]] constexpr double to_milliseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Human-readable rendering, e.g. "12.345ms".
+[[nodiscard]] std::string format_time(Time t);
+
+/// Transmission (serialization) delay of `bytes` at `bytes_per_sec`.
+[[nodiscard]] constexpr Time transmission_delay(std::int64_t bytes, double bytes_per_sec) {
+  return static_cast<Time>(static_cast<double>(bytes) / bytes_per_sec *
+                           static_cast<double>(kSecond));
+}
+
+/// Convert a link rate in Gb/s to bytes/second.
+[[nodiscard]] constexpr double gbps_to_bytes_per_sec(double gbps) {
+  return gbps * 1e9 / 8.0;
+}
+
+}  // namespace clove::sim

@@ -1,0 +1,51 @@
+#include "stats/stats.hpp"
+
+#include <cstdio>
+
+namespace clove::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out += cell;
+      out.append(widths[c] > cell.size() ? widths[c] - cell.size() + 2 : 2, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    sep.append(widths[c], '-');
+    sep.append(2, ' ');
+  }
+  out += sep + '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace clove::stats

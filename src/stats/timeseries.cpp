@@ -1,0 +1,37 @@
+#include "stats/timeseries.hpp"
+
+#include <cstdio>
+
+#include "sim/time.hpp"
+
+namespace clove::stats {
+
+std::string TimeSeriesSet::to_csv() const {
+  std::string out = "time_ms";
+  for (const auto& s : series_) {
+    out += ',';
+    out += s->name();
+  }
+  out += '\n';
+  if (series_.empty()) return out;
+
+  const auto& anchor = series_[0]->points();
+  // Per anchor timestamp, emit each series' value at the same index when
+  // available (series sampled at the same cadence stay aligned).
+  for (std::size_t row = 0; row < anchor.size(); ++row) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  sim::to_milliseconds(anchor[row].first));
+    out += buf;
+    for (const auto& s : series_) {
+      const auto& pts = s->points();
+      std::snprintf(buf, sizeof(buf), ",%.6g",
+                    row < pts.size() ? pts[row].second : 0.0);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace clove::stats

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace clove::stats {
+
+/// A named, periodically-sampled metric: the probe function is called every
+/// `interval` of simulated time and the (time, value) points are retained.
+/// Used by examples and experiments to watch queue depths, utilizations and
+/// Clove path weights evolve — e.g. around a link failure.
+class TimeSeries {
+ public:
+  using Probe = std::function<double()>;
+
+  TimeSeries(sim::Simulator& sim, std::string name, Probe probe,
+             sim::Time interval)
+      : sim_(sim),
+        name_(std::move(name)),
+        probe_(std::move(probe)),
+        interval_(interval),
+        timer_(sim, [this] { sample(); }) {}
+
+  /// Begin sampling (the first sample is taken `interval` from now).
+  void start() { timer_.schedule_in(interval_); }
+  void stop() { timer_.cancel(); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::pair<sim::Time, double>>& points()
+      const {
+    return points_;
+  }
+  [[nodiscard]] double last() const {
+    return points_.empty() ? 0.0 : points_.back().second;
+  }
+  [[nodiscard]] double max() const {
+    double m = 0.0;
+    for (const auto& [t, v] : points_) m = std::max(m, v);
+    return m;
+  }
+  [[nodiscard]] double mean() const {
+    if (points_.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& [t, v] : points_) s += v;
+    return s / static_cast<double>(points_.size());
+  }
+  /// Mean over samples taken in [from, to).
+  [[nodiscard]] double mean_between(sim::Time from, sim::Time to) const {
+    double s = 0.0;
+    std::size_t n = 0;
+    for (const auto& [t, v] : points_) {
+      if (t >= from && t < to) {
+        s += v;
+        ++n;
+      }
+    }
+    return n ? s / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  void sample() {
+    points_.emplace_back(sim_.now(), probe_());
+    timer_.schedule_in(interval_);
+  }
+
+  sim::Simulator& sim_;
+  std::string name_;
+  Probe probe_;
+  sim::Time interval_;
+  sim::Timer timer_;
+  std::vector<std::pair<sim::Time, double>> points_;
+};
+
+/// A group of TimeSeries with shared lifecycle and CSV export.
+class TimeSeriesSet {
+ public:
+  explicit TimeSeriesSet(sim::Simulator& sim) : sim_(sim) {}
+
+  TimeSeries& add(std::string name, TimeSeries::Probe probe,
+                  sim::Time interval) {
+    series_.push_back(std::make_unique<TimeSeries>(
+        sim_, std::move(name), std::move(probe), interval));
+    return *series_.back();
+  }
+
+  void start_all() {
+    for (auto& s : series_) s->start();
+  }
+  void stop_all() {
+    for (auto& s : series_) s->stop();
+  }
+
+  [[nodiscard]] std::size_t size() const { return series_.size(); }
+  [[nodiscard]] TimeSeries& at(std::size_t i) { return *series_[i]; }
+  [[nodiscard]] const TimeSeries* find(const std::string& name) const {
+    for (const auto& s : series_) {
+      if (s->name() == name) return s.get();
+    }
+    return nullptr;
+  }
+
+  /// CSV with one row per sample time (union of all series' timestamps is
+  /// not needed here: series share the interval in practice, so rows are
+  /// emitted per first-series timestamp with the latest value of each).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<TimeSeries>> series_;
+};
+
+}  // namespace clove::stats

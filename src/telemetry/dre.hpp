@@ -1,0 +1,85 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace clove::telemetry {
+
+/// Discounted Rate Estimator (DRE), as used by CONGA-style fabrics to track
+/// egress-link utilization cheaply: a register X accumulates transmitted
+/// bytes and is multiplicatively decayed by (1 - alpha) every Tdre. The
+/// long-run expectation of X for a link carrying rate R is R * Tdre / alpha,
+/// so utilization = X * alpha / (Tdre * capacity).
+///
+/// The decay is applied lazily (no timer): on each touch we apply however
+/// many whole decay intervals have elapsed. This keeps the estimator free of
+/// simulator events, which matters when there are hundreds of links.
+class Dre {
+ public:
+  Dre() = default;
+  Dre(double alpha, sim::Time tdre, double capacity_bytes_per_sec)
+      : alpha_(alpha), tdre_(tdre), capacity_(capacity_bytes_per_sec) {}
+
+  void configure(double alpha, sim::Time tdre, double capacity_bytes_per_sec) {
+    alpha_ = alpha;
+    tdre_ = tdre;
+    capacity_ = capacity_bytes_per_sec;
+  }
+
+  /// Record `bytes` transmitted at time `now`.
+  void on_transmit(sim::Time now, std::int64_t bytes) {
+    decay_to(now);
+    x_ += static_cast<double>(bytes);
+  }
+
+  /// Estimated link utilization in [0, ~1+] at time `now`.
+  [[nodiscard]] double utilization(sim::Time now) const {
+    decay_to(now);
+    const double denom = sim::to_seconds(tdre_) / alpha_ * capacity_;
+    return denom > 0.0 ? x_ / denom : 0.0;
+  }
+
+  /// CONGA quantizes utilization to a few bits; 3 bits (0..7) in the paper.
+  [[nodiscard]] std::uint8_t quantized(sim::Time now, int bits = 3) const {
+    const double u = std::clamp(utilization(now), 0.0, 1.0);
+    const int levels = (1 << bits) - 1;
+    return static_cast<std::uint8_t>(u * levels + 0.5);
+  }
+
+  void reset() {
+    x_ = 0.0;
+    last_decay_ = 0;
+  }
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] sim::Time tdre() const { return tdre_; }
+
+ private:
+  void decay_to(sim::Time now) const {
+    if (now <= last_decay_ || tdre_ <= 0) return;
+    const std::int64_t steps = (now - last_decay_) / tdre_;
+    if (steps > 0) {
+      // (1-alpha)^steps, computed iteratively for small step counts and via
+      // a cutoff for large idle gaps (value underflows to zero anyway).
+      if (steps > 200) {
+        x_ = 0.0;
+      } else {
+        double f = 1.0;
+        const double keep = 1.0 - alpha_;
+        for (std::int64_t i = 0; i < steps; ++i) f *= keep;
+        x_ *= f;
+      }
+      last_decay_ += steps * tdre_;
+    }
+  }
+
+  double alpha_{0.1};
+  sim::Time tdre_{50 * sim::kMicrosecond};
+  double capacity_{sim::gbps_to_bytes_per_sec(10.0)};
+  mutable double x_{0.0};
+  mutable sim::Time last_decay_{0};
+};
+
+}  // namespace clove::telemetry

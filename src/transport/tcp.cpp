@@ -1,0 +1,559 @@
+#include "transport/tcp.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace clove::transport {
+
+namespace {
+constexpr sim::Time kMaxRto = 60 * sim::kSecond;
+}
+
+// ---------------------------------------------------------------------------
+// TcpSender
+// ---------------------------------------------------------------------------
+
+TcpSender::TcpSender(VmPort& port, net::FiveTuple tuple, TcpConfig cfg)
+    : port_(port),
+      tuple_(tuple),
+      cfg_(cfg),
+      rto_timer_(port.simulator(), [this] { on_rto(); }),
+      tlp_timer_(port.simulator(), [this] { on_tlp(); }),
+      cwnd_(static_cast<std::uint64_t>(cfg.initial_cwnd_pkts) * cfg.mss),
+      ssthresh_(cfg.max_cwnd_bytes) {
+  if (cfg_.dctcp) cfg_.ecn = true;
+}
+
+void TcpSender::write(std::uint64_t bytes, Completion done) {
+  stream_end_ += bytes;
+  if (done) completions_.emplace_back(stream_end_, std::move(done));
+  try_send();
+}
+
+sim::Time TcpSender::rto() const {
+  sim::Time base = (srtt_ == 0) ? 2 * cfg_.initial_rtt
+                                : srtt_ + std::max<sim::Time>(4 * rttvar_,
+                                                              sim::kMicrosecond);
+  base = std::max(base, cfg_.min_rto);
+  for (int i = 0; i < rto_backoff_; ++i) {
+    base = std::min(base * 2, kMaxRto);
+  }
+  return base;
+}
+
+void TcpSender::arm_rto() {
+  // Ensure-semantics: schedule the timers only when they are not already
+  // pending, so repeated transmissions cannot push the RTO into the future
+  // forever. on_ack() restarts them explicitly on cumulative progress.
+  if (snd_una_ < snd_nxt_) {
+    if (!rto_timer_.pending()) rto_timer_.schedule_in(rto());
+    if (cfg_.tail_loss_probe && !tlp_timer_.pending()) {
+      // Probe well before the (potentially huge) RTO would fire; the probe
+      // re-arms itself, so a persistent stall keeps probing at PTO spacing
+      // instead of waiting the full RTO.
+      const sim::Time pto =
+          std::max(cfg_.min_tlp, srtt_ > 0 ? 2 * srtt_ : 2 * cfg_.initial_rtt);
+      if (pto < rto()) tlp_timer_.schedule_in(pto);
+    }
+  } else {
+    rto_timer_.cancel();
+    tlp_timer_.cancel();
+  }
+}
+
+void TcpSender::restart_timers() {
+  rto_timer_.cancel();
+  tlp_timer_.cancel();
+  arm_rto();
+}
+
+void TcpSender::on_tlp() {
+  // Tail-loss probe: no ACK progress for ~2 RTTs with data outstanding.
+  // Outside recovery, retransmit the LAST outstanding segment: a lost tail
+  // is repaired directly, and otherwise the duplicate elicits dupacks that
+  // let fast retransmit run instead of a full RTO. Inside recovery, a stall
+  // means the retransmission itself was lost; re-send the oldest hole (what
+  // SACK-based recovery in a real stack achieves).
+  if (snd_una_ >= snd_nxt_) return;
+  if (cfg_.sack) {
+    // Re-pump first (hole retransmissions older than the probe timeout are
+    // presumed lost again), then always probe the TAIL: when a whole burst
+    // above the highest SACK was dropped, the pipe model cannot see it, and
+    // only the tail probe's SACK can reveal the receiver's true state.
+    if (in_recovery_) sack_pump();
+    const std::uint64_t len =
+        std::min<std::uint64_t>(cfg_.mss, snd_nxt_ - snd_una_);
+    send_segment(snd_nxt_ - len, static_cast<std::uint32_t>(len),
+                 /*retransmit=*/true);
+  } else if (in_recovery_) {
+    send_segment(snd_una_,
+                 static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                     cfg_.mss, snd_nxt_ - snd_una_)),
+                 /*retransmit=*/true);
+  } else {
+    const std::uint64_t len =
+        std::min<std::uint64_t>(cfg_.mss, snd_nxt_ - snd_una_);
+    send_segment(snd_nxt_ - len, static_cast<std::uint32_t>(len),
+                 /*retransmit=*/true);
+  }
+  arm_rto();  // keep probing at PTO intervals while the stall lasts
+}
+
+void TcpSender::rtt_sample(sim::Time m) {
+  if (srtt_ == 0) {
+    srtt_ = m;
+    rttvar_ = m / 2;
+  } else {
+    const sim::Time err = srtt_ > m ? srtt_ - m : m - srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + m) / 8;
+  }
+}
+
+void TcpSender::try_send() {
+  // RFC 3042 limited transmit: the first dupacks each release one new
+  // segment so that small windows can still reach the fast-retransmit
+  // threshold instead of stalling into an RTO.
+  std::uint64_t cwnd = cwnd_;
+  if (cfg_.limited_transmit && !in_recovery_ && dupacks_ > 0) {
+    cwnd += static_cast<std::uint64_t>(std::min(dupacks_, 2)) * cfg_.mss;
+  }
+  while (snd_nxt_ < stream_end_ && snd_nxt_ - snd_una_ < cwnd) {
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(cfg_.mss, stream_end_ - snd_nxt_));
+    // Avoid a sliver segment when the window has less than one byte... the
+    // window check above already guarantees at least one byte of room.
+    send_segment(snd_nxt_, len, /*retransmit=*/false);
+    snd_nxt_ += len;
+  }
+  arm_rto();
+}
+
+void TcpSender::send_segment(std::uint64_t seq, std::uint32_t len,
+                             bool retransmit) {
+  auto pkt = net::make_packet();
+  pkt->inner = tuple_;
+  pkt->tcp.seq = seq;
+  pkt->tcp.ack = 0;
+  pkt->tcp.flags.ack = false;
+  pkt->payload = len;
+  pkt->ttl = 64;
+  pkt->sent_at = port_.simulator().now();
+  if (cfg_.ecn) {
+    pkt->tcp.ect = true;
+    if (cwr_pending_) {
+      pkt->tcp.flags.cwr = true;
+      cwr_pending_ = false;
+    }
+  }
+  samples_.push_back(SendSample{seq + len, port_.simulator().now(), retransmit});
+  ++stats_.packets_sent;
+  stats_.bytes_sent += len;
+  port_.vm_send(std::move(pkt));
+}
+
+void TcpSender::on_packet(net::PacketPtr pkt) {
+  if (!pkt->tcp.flags.ack) return;
+  on_ack(pkt->tcp);
+}
+
+// ---------------------------------------------------------------------------
+// SACK scoreboard (RFC 6675-lite)
+// ---------------------------------------------------------------------------
+
+void TcpSender::merge_sack_blocks(const net::TcpHeader& hdr) {
+  for (int i = 0; i < hdr.sack_count; ++i) {
+    std::uint64_t s = std::max(hdr.sacks[static_cast<std::size_t>(i)].start,
+                               snd_una_);
+    std::uint64_t e = std::min(hdr.sacks[static_cast<std::size_t>(i)].end,
+                               snd_nxt_);
+    if (e <= s) continue;
+    // Interval-merge [s, e) into the disjoint map.
+    auto it = sacked_.lower_bound(s);
+    if (it != sacked_.begin() && std::prev(it)->second >= s) --it;
+    while (it != sacked_.end() && it->first <= e) {
+      s = std::min(s, it->first);
+      e = std::max(e, it->second);
+      it = sacked_.erase(it);
+    }
+    sacked_[s] = e;
+  }
+  // A retransmitted hole that is now sacked is no longer in flight.
+  for (auto it = hole_retx_.begin(); it != hole_retx_.end();) {
+    auto rit = sacked_.upper_bound(it->first);
+    const bool covered =
+        rit != sacked_.begin() && std::prev(rit)->second > it->first;
+    it = covered ? hole_retx_.erase(it) : ++it;
+  }
+}
+
+sim::Time TcpSender::retx_lost_after() const {
+  const sim::Time rtt = srtt_ > 0 ? srtt_ : cfg_.initial_rtt;
+  return rtt + rtt / 2;
+}
+
+std::uint64_t TcpSender::sacked_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [s, e] : sacked_) {
+    if (e <= snd_una_) continue;
+    total += e - std::max(s, snd_una_);
+  }
+  return total;
+}
+
+std::pair<std::uint64_t, std::uint32_t> TcpSender::next_hole() const {
+  if (sacked_.empty()) return {0, 0};
+  const sim::Time now = port_.simulator().now();
+  std::uint64_t pos = snd_una_;
+  for (const auto& [s, e] : sacked_) {
+    if (e <= pos) continue;
+    std::uint64_t h = pos;
+    while (h < s) {
+      auto rit = hole_retx_.find(h);
+      const bool recently_retx =
+          rit != hole_retx_.end() && now - rit->second < retx_lost_after();
+      if (!recently_retx) {
+        const std::uint32_t len = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>({cfg_.mss, s - h, stream_end_ - h}));
+        if (len > 0) return {h, len};
+      }
+      h += cfg_.mss;
+    }
+    pos = std::max(pos, e);
+  }
+  return {0, 0};
+}
+
+void TcpSender::enter_recovery_sack() {
+  ++stats_.fast_retransmits;
+  in_recovery_ = true;
+  recover_point_ = snd_nxt_;
+  const std::uint64_t inflight = snd_nxt_ - snd_una_;
+  ssthresh_ = std::max<std::uint64_t>(inflight / 2, 2ull * cfg_.mss);
+  cwnd_ = ssthresh_;
+  hole_retx_.clear();
+}
+
+void TcpSender::sack_pump() {
+  // RFC 6675-style pipe: bytes believed in flight = outstanding, minus
+  // sacked bytes, minus holes below the highest sack (presumed LOST — this
+  // is what lets recovery proceed), plus recent hole retransmissions.
+  const sim::Time now = port_.simulator().now();
+  while (true) {
+    const std::uint64_t outstanding = snd_nxt_ - snd_una_;
+    const std::uint64_t sb = sacked_bytes();
+    std::uint64_t lost = 0;
+    std::uint64_t retx_inflight = 0;
+    if (!sacked_.empty()) {
+      std::uint64_t pos = snd_una_;
+      for (const auto& [s, e] : sacked_) {
+        if (e <= pos) continue;
+        for (std::uint64_t h = pos; h < s; h += cfg_.mss) {
+          const std::uint64_t len = std::min<std::uint64_t>(cfg_.mss, s - h);
+          auto rit = hole_retx_.find(h);
+          if (rit != hole_retx_.end() && now - rit->second < retx_lost_after()) {
+            retx_inflight += len;
+          } else {
+            lost += len;
+          }
+        }
+        pos = std::max(pos, e);
+      }
+    }
+    std::uint64_t pipe = outstanding > sb + lost ? outstanding - sb - lost : 0;
+    pipe += retx_inflight;
+    if (pipe >= cwnd_) break;
+    if (in_recovery_) {
+      const auto [hseq, hlen] = next_hole();
+      if (hlen > 0) {
+        send_segment(hseq, hlen, /*retransmit=*/true);
+        hole_retx_[hseq] = now;
+        continue;
+      }
+    }
+    if (snd_nxt_ < stream_end_) {
+      const std::uint32_t len = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(cfg_.mss, stream_end_ - snd_nxt_));
+      send_segment(snd_nxt_, len, /*retransmit=*/false);
+      snd_nxt_ += len;
+      continue;
+    }
+    break;
+  }
+  arm_rto();
+}
+
+void TcpSender::ecn_reduce() {
+  // RFC3168 / DCTCP: at most one multiplicative reduction per window.
+  if (snd_una_ < ecn_reduce_until_) return;
+  ecn_reduce_until_ = snd_nxt_;
+  ++stats_.ecn_reductions;
+  cwr_pending_ = true;
+  std::uint64_t new_cwnd;
+  if (cfg_.dctcp) {
+    new_cwnd = static_cast<std::uint64_t>(
+        static_cast<double>(cwnd_) * (1.0 - dctcp_alpha_ / 2.0));
+  } else {
+    new_cwnd = cwnd_ / 2;
+  }
+  cwnd_ = std::max<std::uint64_t>(new_cwnd, 2ull * cfg_.mss);
+  ssthresh_ = cwnd_;
+}
+
+void TcpSender::on_ack(const net::TcpHeader& hdr) {
+  std::uint64_t ack = hdr.ack;
+  const bool ece = hdr.flags.ece;
+  if (ack > snd_nxt_) ack = snd_nxt_;  // corrupted/foreign; clamp
+
+  // DCTCP marked-byte accounting (per-window alpha estimate).
+  if (cfg_.dctcp && ack > snd_una_) {
+    const std::uint64_t acked = ack - snd_una_;
+    dctcp_acked_ += acked;
+    if (ece) dctcp_marked_ += acked;
+    if (ack >= dctcp_window_start_) {
+      const double f = dctcp_acked_ > 0
+                           ? static_cast<double>(dctcp_marked_) /
+                                 static_cast<double>(dctcp_acked_)
+                           : 0.0;
+      dctcp_alpha_ = (1.0 - cfg_.dctcp_g) * dctcp_alpha_ + cfg_.dctcp_g * f;
+      dctcp_acked_ = dctcp_marked_ = 0;
+      dctcp_window_start_ = snd_nxt_;
+    }
+  }
+
+  if (ece && cfg_.ecn) ecn_reduce();
+
+  if (ack < snd_una_) return;  // stale
+  if (cfg_.sack) merge_sack_blocks(hdr);
+  if (ack == snd_una_) {
+    if (snd_una_ < snd_nxt_) handle_dupack();
+    return;
+  }
+
+  // New data acked.
+  const std::uint64_t acked_bytes = ack - snd_una_;
+  stats_.bytes_acked += acked_bytes;
+  snd_una_ = ack;
+  dupacks_ = 0;
+  rto_backoff_ = 0;
+  restart_timers();  // cumulative progress restarts the RTO/TLP clocks
+
+  // Prune the scoreboard below the new cumulative ack.
+  while (!sacked_.empty() && sacked_.begin()->second <= snd_una_) {
+    sacked_.erase(sacked_.begin());
+  }
+  if (!sacked_.empty() && sacked_.begin()->first < snd_una_) {
+    const std::uint64_t e = sacked_.begin()->second;
+    sacked_.erase(sacked_.begin());
+    sacked_[snd_una_] = e;
+  }
+  hole_retx_.erase(hole_retx_.begin(), hole_retx_.lower_bound(snd_una_));
+
+  // RTT sample from the most recent fully-acked, never-retransmitted segment.
+  sim::Time sample = -1;
+  while (!samples_.empty() && samples_.front().seq_end <= ack) {
+    if (!samples_.front().retransmitted) {
+      sample = port_.simulator().now() - samples_.front().sent;
+    }
+    samples_.pop_front();
+  }
+  if (sample >= 0) rtt_sample(sample);
+
+  if (in_recovery_) {
+    if (ack >= recover_point_) {
+      in_recovery_ = false;
+      hole_retx_.clear();
+      cwnd_ = std::max<std::uint64_t>(ssthresh_, 2ull * cfg_.mss);
+    } else if (!cfg_.sack) {
+      // NewReno partial ack: the next hole is lost too; retransmit it and
+      // deflate the window by the amount acked. (With SACK the pump below
+      // retransmits exactly the known holes instead.)
+      send_segment(snd_una_,
+                   static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                       cfg_.mss, stream_end_ - snd_una_)),
+                   /*retransmit=*/true);
+      cwnd_ = (cwnd_ > acked_bytes ? cwnd_ - acked_bytes : 0) + cfg_.mss;
+    }
+  } else if (cwnd_ < ssthresh_) {
+    cwnd_ += acked_bytes;  // slow start
+  } else {
+    cwnd_ += ca_increase ? ca_increase(acked_bytes)
+                         : std::max<std::uint64_t>(
+                               1, static_cast<std::uint64_t>(cfg_.mss) *
+                                      acked_bytes / std::max<std::uint64_t>(
+                                                        cwnd_, 1));
+  }
+  cwnd_ = std::min<std::uint64_t>(cwnd_, cfg_.max_cwnd_bytes);
+
+  // Fire job completions.
+  const sim::Time now = port_.simulator().now();
+  while (!completions_.empty() && completions_.front().first <= snd_una_) {
+    auto done = std::move(completions_.front().second);
+    completions_.pop_front();
+    done(now);
+  }
+
+  if (cfg_.sack) {
+    sack_pump();
+  } else {
+    try_send();
+  }
+  if (on_progress) on_progress();
+}
+
+void TcpSender::handle_dupack() {
+  ++dupacks_;
+  if (cfg_.sack) {
+    if (!in_recovery_ &&
+        (dupacks_ >= cfg_.dupack_threshold ||
+         sacked_bytes() >= 3ull * cfg_.mss)) {
+      enter_recovery_sack();
+    }
+    if (!in_recovery_ && cfg_.limited_transmit) {
+      try_send();  // limited transmit before the threshold
+    } else {
+      sack_pump();
+    }
+    return;
+  }
+  if (in_recovery_) {
+    // Window inflation: each dupack signals a departed packet.
+    cwnd_ += cfg_.mss;
+    try_send();
+    return;
+  }
+  if (dupacks_ < cfg_.dupack_threshold) {
+    try_send();  // limited transmit may release a segment
+    return;
+  }
+  if (dupacks_ >= cfg_.dupack_threshold) {
+    ++stats_.fast_retransmits;
+    in_recovery_ = true;
+    recover_point_ = snd_nxt_;
+    const std::uint64_t inflight = snd_nxt_ - snd_una_;
+    ssthresh_ = std::max<std::uint64_t>(inflight / 2, 2ull * cfg_.mss);
+    cwnd_ = ssthresh_ + 3ull * cfg_.mss;
+    send_segment(snd_una_,
+                 static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                     cfg_.mss, stream_end_ - snd_una_)),
+                 /*retransmit=*/true);
+    arm_rto();
+  }
+}
+
+void TcpSender::on_rto() {
+  if (snd_una_ >= snd_nxt_) return;  // nothing outstanding
+  ++stats_.timeouts;
+  ++rto_backoff_;
+  ssthresh_ = std::max<std::uint64_t>((snd_nxt_ - snd_una_) / 2, 2ull * cfg_.mss);
+  cwnd_ = cfg_.mss;
+  in_recovery_ = false;
+  dupacks_ = 0;
+  // Go-back-N: rewind and resend from the hole. The scoreboard is dropped
+  // (sack reneging is legal), trading some redundant bytes for simplicity.
+  sacked_.clear();
+  hole_retx_.clear();
+  snd_nxt_ = snd_una_;
+  samples_.clear();
+  try_send();
+  arm_rto();
+}
+
+// ---------------------------------------------------------------------------
+// TcpReceiver
+// ---------------------------------------------------------------------------
+
+TcpReceiver::TcpReceiver(VmPort& port, net::FiveTuple reverse_tuple,
+                         TcpConfig cfg)
+    : port_(port),
+      reverse_tuple_(reverse_tuple),
+      cfg_(cfg),
+      delack_timer_(port.simulator(), [this] { do_send_ack(); }) {
+  if (cfg_.dctcp) cfg_.ecn = true;
+}
+
+void TcpReceiver::on_packet(net::PacketPtr pkt) {
+  if (pkt->payload == 0) return;  // pure control; nothing to ack
+
+  const bool ce = pkt->tcp.ce;
+  bool ecn_transition = false;
+  if (cfg_.dctcp) {
+    ecn_transition = (ce != last_pkt_ce_);
+    last_pkt_ce_ = ce;
+  } else if (ce && !ece_latched_) {
+    ece_latched_ = true;
+    ecn_transition = true;
+  }
+  if (pkt->tcp.flags.cwr) ece_latched_ = false;
+
+  const std::uint64_t seq = pkt->tcp.seq;
+  const std::uint64_t end = seq + pkt->payload;
+  bool out_of_order = false;
+
+  if (end <= rcv_nxt_) {
+    // Pure duplicate (e.g. spurious retransmit); ack immediately.
+    out_of_order = true;
+  } else if (seq <= rcv_nxt_) {
+    rcv_nxt_ = end;
+    // Drain any now-contiguous buffered segments.
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && it->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, it->second);
+      it = ooo_.erase(it);
+    }
+    if (on_deliver) on_deliver(rcv_nxt_);
+  } else {
+    out_of_order = true;
+    ++reorder_events_;
+    // Store [seq, end); keep the map disjoint by merging overlaps.
+    auto [it, inserted] = ooo_.try_emplace(seq, end);
+    if (!inserted) {
+      it->second = std::max(it->second, end);
+    }
+    last_block_ = net::SackBlock{it->first, it->second};
+  }
+
+  ++unacked_segments_;
+  send_ack(out_of_order || ecn_transition);
+}
+
+void TcpReceiver::send_ack(bool force) {
+  if (force || unacked_segments_ >= cfg_.ack_every) {
+    do_send_ack();
+  } else if (!delack_timer_.pending()) {
+    delack_timer_.schedule_in(cfg_.delack_timeout);
+  }
+}
+
+void TcpReceiver::do_send_ack() {
+  delack_timer_.cancel();
+  unacked_segments_ = 0;
+  auto ack = net::make_packet();
+  ack->inner = reverse_tuple_;
+  ack->tcp.flags.ack = true;
+  ack->tcp.ack = rcv_nxt_;
+  ack->payload = 0;
+  ack->ttl = 64;
+  ack->sent_at = port_.simulator().now();
+  if (cfg_.ecn) {
+    const bool echo = cfg_.dctcp ? last_pkt_ce_ : ece_latched_;
+    ack->tcp.flags.ece = echo;
+  }
+  if (cfg_.sack) {
+    // Attach up to 3 SACK blocks: the most recently received block first
+    // (RFC 2018), then older blocks ascending.
+    if (last_block_.end > last_block_.start &&
+        last_block_.start >= rcv_nxt_) {
+      ack->tcp.sacks[ack->tcp.sack_count++] = last_block_;
+    }
+    for (const auto& [s, e] : ooo_) {
+      if (ack->tcp.sack_count >= 3) break;
+      if (s == last_block_.start) continue;
+      ack->tcp.sacks[ack->tcp.sack_count++] = net::SackBlock{s, e};
+    }
+  }
+  port_.vm_send(std::move(ack));
+}
+
+}  // namespace clove::transport

@@ -1,0 +1,203 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace clove::transport {
+
+/// Guest-VM TCP tuning knobs. Defaults model an untuned Linux stack of the
+/// paper's era (the whole point of Clove is that this stack is NOT modified).
+struct TcpConfig {
+  std::uint32_t mss{1460};
+  std::uint32_t initial_cwnd_pkts{10};
+  std::uint32_t max_cwnd_bytes{4u << 20};
+  int dupack_threshold{3};
+  sim::Time min_rto{200 * sim::kMillisecond};  ///< Linux default
+  sim::Time initial_rtt{1 * sim::kMillisecond};
+  bool ecn{false};      ///< RFC3168 inner ECN (off for a vanilla tenant)
+  bool dctcp{false};    ///< DCTCP extension (§7); implies ecn semantics
+  double dctcp_g{1.0 / 16.0};
+  int ack_every{2};     ///< delayed-ACK ratio
+  sim::Time delack_timeout{200 * sim::kMicrosecond};
+  bool limited_transmit{true};  ///< RFC 3042: new data on first dupacks
+  bool tail_loss_probe{true};   ///< Linux-style TLP: probe before the RTO
+  sim::Time min_tlp{1 * sim::kMillisecond};
+  /// SACK-based loss recovery (RFC 6675-style scoreboard + pipe). Always on
+  /// in the Linux stacks of the paper's testbed; disable to get classic
+  /// NewReno hole-per-RTT recovery.
+  bool sack{true};
+};
+
+struct TcpSenderStats {
+  std::uint64_t bytes_sent{0};
+  std::uint64_t bytes_acked{0};
+  std::uint64_t packets_sent{0};
+  std::uint64_t fast_retransmits{0};
+  std::uint64_t timeouts{0};
+  std::uint64_t ecn_reductions{0};
+};
+
+/// The hypervisor-facing side of a VM vNIC: VM stacks hand packets to it,
+/// and the owning host delivers inbound packets back via TcpEndpoint.
+class VmPort {
+ public:
+  virtual ~VmPort() = default;
+  virtual void vm_send(net::PacketPtr pkt) = 0;
+  virtual sim::Simulator& simulator() = 0;
+};
+
+/// Anything that consumes inbound inner packets (sender or receiver half).
+class TcpEndpoint {
+ public:
+  virtual ~TcpEndpoint() = default;
+  virtual void on_packet(net::PacketPtr pkt) = 0;
+};
+
+/// One-directional TCP byte-stream sender: NewReno congestion control with
+/// fast retransmit/recovery, RTO with exponential backoff, optional RFC3168
+/// ECN reaction and optional DCTCP fractional reaction. Sequence numbers are
+/// 64-bit byte offsets (no wrap handling needed).
+///
+/// Jobs are framed as byte ranges on the persistent stream: write() appends
+/// and registers a completion callback fired when the range is fully acked —
+/// matching the paper's workload of many jobs per persistent connection.
+class TcpSender : public TcpEndpoint {
+ public:
+  using Completion = std::function<void(sim::Time acked_at)>;
+
+  TcpSender(VmPort& port, net::FiveTuple tuple, TcpConfig cfg = {});
+
+  /// Append `bytes` to the stream; `done` fires when the last byte is acked.
+  void write(std::uint64_t bytes, Completion done = nullptr);
+
+  void on_packet(net::PacketPtr pkt) override;
+
+  [[nodiscard]] const net::FiveTuple& tuple() const { return tuple_; }
+  [[nodiscard]] const TcpSenderStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t cwnd() const { return cwnd_; }
+  [[nodiscard]] std::uint64_t bytes_outstanding() const { return snd_nxt_ - snd_una_; }
+  [[nodiscard]] std::uint64_t stream_end() const { return stream_end_; }
+  [[nodiscard]] std::uint64_t snd_una() const { return snd_una_; }
+  [[nodiscard]] sim::Time srtt() const { return srtt_; }
+  [[nodiscard]] bool idle() const { return snd_una_ == stream_end_; }
+
+  /// Coupled-increase hook for MPTCP (returns bytes to add to cwnd per
+  /// `acked` bytes in congestion avoidance). Default: Reno (mss*acked/cwnd).
+  std::function<std::uint64_t(std::uint64_t acked)> ca_increase;
+
+  /// Fires whenever snd_una advances (used by MPTCP's scheduler).
+  std::function<void()> on_progress;
+
+ private:
+  void try_send();
+  void send_segment(std::uint64_t seq, std::uint32_t len, bool retransmit);
+  void on_ack(const net::TcpHeader& hdr);
+  void handle_dupack();
+  // --- SACK scoreboard ---
+  void merge_sack_blocks(const net::TcpHeader& hdr);
+  [[nodiscard]] std::uint64_t sacked_bytes() const;
+  /// First unsacked hole at/above snd_una_ below the highest sacked byte
+  /// that has not been retransmitted this recovery; 0-length when none.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint32_t> next_hole() const;
+  void sack_pump();
+  void enter_recovery_sack();
+  void on_rto();
+  void on_tlp();
+  void arm_rto();
+  void restart_timers();
+  void rtt_sample(sim::Time sample);
+  [[nodiscard]] sim::Time rto() const;
+  void ecn_reduce();
+
+  VmPort& port_;
+  net::FiveTuple tuple_;
+  TcpConfig cfg_;
+  sim::Timer rto_timer_;
+  sim::Timer tlp_timer_;
+
+  // Stream state.
+  std::uint64_t stream_end_{0};  ///< bytes written by the application
+  std::uint64_t snd_una_{0};
+  std::uint64_t snd_nxt_{0};
+  std::deque<std::pair<std::uint64_t, Completion>> completions_;
+
+  // Congestion control.
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_;
+  int dupacks_{0};
+  bool in_recovery_{false};
+  std::uint64_t recover_point_{0};
+  int rto_backoff_{0};
+
+  // SACK scoreboard: disjoint sacked ranges [start, end) above snd_una_,
+  // plus hole starts retransmitted in the current recovery with their send
+  // times — a retransmission older than ~1.5 RTT is presumed lost again
+  // (RACK-style), so it re-enters the pipe and may be resent.
+  std::map<std::uint64_t, std::uint64_t> sacked_;
+  std::map<std::uint64_t, sim::Time> hole_retx_;
+  [[nodiscard]] sim::Time retx_lost_after() const;
+
+  // ECN / DCTCP.
+  bool cwr_pending_{false};       ///< set CWR on next data segment
+  std::uint64_t ecn_reduce_until_{0};  ///< one reduction per window
+  double dctcp_alpha_{1.0};
+  std::uint64_t dctcp_window_start_{0};
+  std::uint64_t dctcp_acked_{0};
+  std::uint64_t dctcp_marked_{0};
+
+  // RTT estimation (Karn + Jacobson).
+  struct SendSample {
+    std::uint64_t seq_end;
+    sim::Time sent;
+    bool retransmitted;
+  };
+  std::deque<SendSample> samples_;
+  sim::Time srtt_{0};
+  sim::Time rttvar_{0};
+
+  TcpSenderStats stats_;
+};
+
+/// One-directional TCP receiver: cumulative ACKs, out-of-order reassembly,
+/// delayed ACKs (immediate on reordering or ECN transitions), RFC3168 or
+/// DCTCP-style ECN echo.
+class TcpReceiver : public TcpEndpoint {
+ public:
+  TcpReceiver(VmPort& port, net::FiveTuple reverse_tuple, TcpConfig cfg = {});
+
+  void on_packet(net::PacketPtr pkt) override;
+
+  [[nodiscard]] std::uint64_t bytes_delivered() const { return rcv_nxt_; }
+  /// Fires on every in-order delivery with the new cumulative byte count.
+  std::function<void(std::uint64_t total_bytes)> on_deliver;
+
+  [[nodiscard]] std::uint64_t reorder_events() const { return reorder_events_; }
+
+ private:
+  void send_ack(bool force);
+  void do_send_ack();
+
+  VmPort& port_;
+  net::FiveTuple reverse_tuple_;  ///< tuple used for outgoing ACKs
+  TcpConfig cfg_;
+  sim::Timer delack_timer_;
+
+  std::uint64_t rcv_nxt_{0};
+  std::map<std::uint64_t, std::uint64_t> ooo_;  ///< seq -> end (disjoint)
+  net::SackBlock last_block_{};  ///< most recently stored OOO block
+  int unacked_segments_{0};
+  std::uint64_t reorder_events_{0};
+
+  // ECN state.
+  bool ece_latched_{false};   ///< RFC3168: echo until CWR
+  bool last_pkt_ce_{false};   ///< DCTCP: echo per-packet CE
+};
+
+}  // namespace clove::transport

@@ -1,0 +1,81 @@
+#include "workload/flow_size.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace clove::workload {
+
+FlowSizeDistribution::FlowSizeDistribution(std::vector<Point> points)
+    : points_(std::move(points)) {
+  assert(!points_.empty());
+  // Mean via the trapezoid decomposition of the inverse CDF: each segment
+  // contributes (cdf_i - cdf_{i-1}) * midpoint(bytes).
+  double prev_cdf = 0.0;
+  std::uint64_t prev_bytes = 0;
+  for (const Point& p : points_) {
+    const double mass = p.cdf - prev_cdf;
+    mean_ += mass * 0.5 *
+             (static_cast<double>(prev_bytes) + static_cast<double>(p.bytes));
+    prev_cdf = p.cdf;
+    prev_bytes = p.bytes;
+  }
+}
+
+std::uint64_t FlowSizeDistribution::sample(sim::Rng& rng) const {
+  const double u = rng.uniform();
+  double prev_cdf = 0.0;
+  std::uint64_t prev_bytes = 0;
+  for (const Point& p : points_) {
+    if (u <= p.cdf) {
+      const double span = p.cdf - prev_cdf;
+      const double frac = span > 0.0 ? (u - prev_cdf) / span : 1.0;
+      const double bytes =
+          static_cast<double>(prev_bytes) +
+          frac * (static_cast<double>(p.bytes) - static_cast<double>(prev_bytes));
+      return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(bytes));
+    }
+    prev_cdf = p.cdf;
+    prev_bytes = p.bytes;
+  }
+  return points_.back().bytes;
+}
+
+FlowSizeDistribution FlowSizeDistribution::web_search() {
+  // Long-tailed web-search flow sizes (production measurements published
+  // with DCTCP and reused by CONGA/Presto/LetFlow evaluations).
+  return FlowSizeDistribution({
+      {10'000, 0.15},
+      {20'000, 0.20},
+      {30'000, 0.30},
+      {50'000, 0.40},
+      {80'000, 0.53},
+      {200'000, 0.60},
+      {1'000'000, 0.70},
+      {2'000'000, 0.80},
+      {5'000'000, 0.90},
+      {10'000'000, 0.97},
+      {30'000'000, 1.00},
+  });
+}
+
+FlowSizeDistribution FlowSizeDistribution::data_mining() {
+  // Heavier-tailed data-mining style distribution (VL2 measurements).
+  return FlowSizeDistribution({
+      {100, 0.10},
+      {1'000, 0.50},
+      {10'000, 0.60},
+      {100'000, 0.70},
+      {1'000'000, 0.80},
+      {10'000'000, 0.90},
+      {100'000'000, 0.97},
+      {1'000'000'000, 1.00},
+  });
+}
+
+FlowSizeDistribution FlowSizeDistribution::fixed(std::uint64_t bytes) {
+  // A degenerate CDF: negligible mass below `bytes`, everything at `bytes`,
+  // so sample() always lands in the flat second segment.
+  return FlowSizeDistribution({{bytes, 1e-12}, {bytes, 1.0}});
+}
+
+}  // namespace clove::workload

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace clove::workload {
+
+/// Empirical flow-size distribution defined by CDF points, sampled with
+/// linear interpolation within segments. The built-in distributions are the
+/// two standard datacenter workloads used throughout the load-balancing
+/// literature (and by the paper's §5/§6 evaluation for web search).
+class FlowSizeDistribution {
+ public:
+  struct Point {
+    std::uint64_t bytes;
+    double cdf;  ///< strictly increasing, last == 1.0
+  };
+
+  explicit FlowSizeDistribution(std::vector<Point> points);
+
+  /// The long-tailed web-search workload (production CDF popularized by the
+  /// DCTCP paper): most flows are mice, but a small fraction of multi-MB
+  /// elephants carries most of the bytes.
+  static FlowSizeDistribution web_search();
+
+  /// The even heavier-tailed data-mining workload (from VL2/CONGA).
+  static FlowSizeDistribution data_mining();
+
+  /// A fixed-size "distribution" (useful for tests and microbenchmarks).
+  static FlowSizeDistribution fixed(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t sample(sim::Rng& rng) const;
+  [[nodiscard]] double mean_bytes() const { return mean_; }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+  double mean_{0.0};
+};
+
+}  // namespace clove::workload

@@ -1,0 +1,122 @@
+// Tests for the §7 "Flowlet optimization" extension: the flowlet gap adapts
+// to the observed one-way-delay spread between a destination's paths.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "lb/clove_ecn.hpp"
+#include "test_util.hpp"
+
+namespace clove::lb {
+namespace {
+
+using clove::testutil::make_data;
+using clove::testutil::tuple;
+using sim::kMicrosecond;
+
+overlay::PathSet four_paths() {
+  overlay::PathSet ps;
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    overlay::PathInfo p;
+    p.port = static_cast<std::uint16_t>(50000 + i);
+    p.hops = {{10, 0},
+              {static_cast<net::IpAddr>(20 + i / 2), static_cast<int>(i % 2)},
+              {11, static_cast<int>(i % 2)},
+              {2, 0}};
+    ps.paths.push_back(p);
+  }
+  return ps;
+}
+
+net::CloveFeedback latency_fb(std::uint16_t port, sim::Time latency) {
+  net::CloveFeedback fb;
+  fb.present = true;
+  fb.port = port;
+  fb.has_latency = true;
+  fb.latency = latency;
+  return fb;
+}
+
+CloveEcnConfig adaptive_cfg() {
+  CloveEcnConfig c;
+  c.flowlet_gap = 100 * kMicrosecond;
+  c.adaptive_gap = true;
+  c.adaptive_gap_factor = 2.0;
+  c.recovery_interval = sim::seconds(100.0);
+  return c;
+}
+
+TEST(AdaptiveGap, BaseGapWithoutLatencyData) {
+  // Until latency samples arrive the base gap applies: packets separated by
+  // more than the base gap form new flowlets (the WRR then rotates ports).
+  CloveEcnPolicy p(adaptive_cfg());
+  p.on_paths_updated(2, four_paths());
+  auto pkt = make_data(tuple(1, 2), 0, 100);
+  const auto p0 = p.pick_port(*pkt, 2, 0);
+  const auto p1 = p.pick_port(*pkt, 2, 150 * kMicrosecond);  // > base gap
+  EXPECT_NE(p0, p1);  // smooth WRR with equal weights rotates
+}
+
+TEST(AdaptiveGap, DelaySpreadWidensGap) {
+  CloveEcnPolicy p(adaptive_cfg());
+  p.on_paths_updated(2, four_paths());
+  // Paths differ by 900us of one-way delay -> gap = 100 + 2*900 = 1900us.
+  p.on_feedback(2, latency_fb(50000, 1000 * kMicrosecond), 0);
+  p.on_feedback(2, latency_fb(50001, 100 * kMicrosecond), 0);
+
+  auto pkt = make_data(tuple(1, 2), 0, 100);
+  const auto p0 = p.pick_port(*pkt, 2, kMicrosecond);
+  // 150us after: would be a NEW flowlet at the base gap, but the widened
+  // gap keeps the flowlet (and therefore the port) intact.
+  EXPECT_EQ(p.pick_port(*pkt, 2, 151 * kMicrosecond), p0);
+  EXPECT_EQ(p.pick_port(*pkt, 2, 1800 * kMicrosecond), p0);
+  // Beyond the widened gap a new flowlet forms.
+  const auto p1 = p.pick_port(*pkt, 2, 4000 * kMicrosecond);
+  EXPECT_NE(p1, p0);
+}
+
+TEST(AdaptiveGap, UniformDelaysKeepBaseGap) {
+  CloveEcnPolicy p(adaptive_cfg());
+  p.on_paths_updated(2, four_paths());
+  for (std::uint16_t port = 50000; port <= 50003; ++port) {
+    p.on_feedback(2, latency_fb(port, 200 * kMicrosecond), 0);
+  }
+  auto pkt = make_data(tuple(1, 2), 0, 100);
+  const auto p0 = p.pick_port(*pkt, 2, kMicrosecond);
+  // Zero spread -> base gap -> 150us is a new flowlet again.
+  EXPECT_NE(p.pick_port(*pkt, 2, 151 * kMicrosecond), p0);
+}
+
+TEST(AdaptiveGap, DisabledIgnoresLatency) {
+  CloveEcnConfig c = adaptive_cfg();
+  c.adaptive_gap = false;
+  CloveEcnPolicy p(c);
+  p.on_paths_updated(2, four_paths());
+  p.on_feedback(2, latency_fb(50000, 1000 * kMicrosecond), 0);
+  p.on_feedback(2, latency_fb(50001, 100 * kMicrosecond), 0);
+  auto pkt = make_data(tuple(1, 2), 0, 100);
+  const auto p0 = p.pick_port(*pkt, 2, kMicrosecond);
+  EXPECT_NE(p.pick_port(*pkt, 2, 151 * kMicrosecond), p0);
+}
+
+TEST(AdaptiveGap, EndToEndThroughHarness) {
+  // The harness flag turns on latency measurement in the hypervisors and
+  // the policy option together; the workload must still complete.
+  harness::ExperimentConfig cfg = harness::make_ns2_profile();
+  cfg.scheme = harness::Scheme::kCloveEcn;
+  cfg.adaptive_flowlet_gap = true;
+  cfg.asymmetric = true;
+  cfg.topo.hosts_per_leaf = 4;
+  cfg.discovery.probe_timeout = 5 * sim::kMillisecond;
+  cfg.traffic_start = 15 * sim::kMillisecond;
+  workload::ClientServerConfig wl;
+  wl.jobs_per_conn = 5;
+  wl.conns_per_client = 1;
+  wl.load = 0.6;
+  wl.sizes = workload::FlowSizeDistribution::fixed(400'000);
+  auto r = harness::run_fct_experiment(cfg, wl);
+  EXPECT_EQ(r.jobs, 4u * 5u);
+}
+
+}  // namespace
+}  // namespace clove::lb

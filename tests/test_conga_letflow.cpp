@@ -1,0 +1,253 @@
+// Tests for the in-fabric comparators: CONGA leaf switches and LetFlow.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/conga_switch.hpp"
+#include "net/letflow_switch.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace clove::net {
+namespace {
+
+using clove::testutil::SinkNode;
+using clove::testutil::make_data;
+using clove::testutil::tuple;
+
+class CongaFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo = std::make_unique<Topology>(sim);
+    LeafSpineConfig cfg;
+    cfg.hosts_per_leaf = 2;
+    cfg.conga_metric = true;
+    CongaConfig cc;
+    cc.flowlet_gap = 100 * sim::kMicrosecond;
+    fabric = build_leaf_spine(
+        *topo, cfg,
+        [](Topology& t, const std::string& name, int) -> Node* {
+          return t.add_host<SinkNode>(name);
+        },
+        [this, cc](NodeId id, std::string name,
+                   int leaf_idx) -> std::unique_ptr<Switch> {
+          if (leaf_idx >= 0) {
+            return std::make_unique<CongaLeafSwitch>(sim, id, std::move(name),
+                                                     cc);
+          }
+          return std::make_unique<Switch>(sim, id, std::move(name));
+        });
+
+    std::unordered_map<IpAddr, int> host_leaf;
+    for (std::size_t l = 0; l < fabric.hosts_by_leaf.size(); ++l) {
+      for (Node* h : fabric.hosts_by_leaf[l]) {
+        host_leaf[h->ip()] = static_cast<int>(l);
+      }
+    }
+    for (std::size_t l = 0; l < fabric.leaves.size(); ++l) {
+      auto* leaf = static_cast<CongaLeafSwitch*>(fabric.leaves[l]);
+      std::vector<int> ups;
+      for (int p = 0; p < leaf->port_count(); ++p) {
+        for (Switch* spine : fabric.spines) {
+          if (leaf->port(p)->dst() == spine) ups.push_back(p);
+        }
+      }
+      leaf->configure_fabric(static_cast<int>(l), ups, host_leaf);
+      leaves.push_back(leaf);
+    }
+    src = static_cast<SinkNode*>(fabric.hosts_by_leaf[0][0]);
+    dst = static_cast<SinkNode*>(fabric.hosts_by_leaf[1][0]);
+  }
+
+  void send(std::uint16_t sport, std::uint64_t seq = 0,
+            std::uint32_t len = 1000) {
+    src->port(0)->enqueue(make_data(tuple(src->ip(), dst->ip(), sport), seq,
+                                    len));
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<Topology> topo;
+  LeafSpine fabric;
+  std::vector<CongaLeafSwitch*> leaves;
+  SinkNode* src{nullptr};
+  SinkNode* dst{nullptr};
+};
+
+TEST_F(CongaFixture, StampsCongaHeaderOnFabricEntry) {
+  send(1000);
+  sim.run();
+  ASSERT_EQ(dst->received.size(), 1u);
+  const Packet& p = *dst->received[0];
+  EXPECT_TRUE(p.conga.present);
+  EXPECT_EQ(p.conga.src_leaf, 0u);
+  EXPECT_LT(p.conga.lb_tag, 4);
+}
+
+TEST_F(CongaFixture, LocalTrafficNotStamped) {
+  auto* peer = static_cast<SinkNode*>(fabric.hosts_by_leaf[0][1]);
+  src->port(0)->enqueue(make_data(tuple(src->ip(), peer->ip(), 1), 0, 100));
+  sim.run();
+  ASSERT_EQ(peer->received.size(), 1u);
+  EXPECT_FALSE(peer->received[0]->conga.present);
+}
+
+TEST_F(CongaFixture, DestinationLeafHarvestsMetric) {
+  send(1000);
+  sim.run();
+  const Packet& p = *dst->received[0];
+  // Leaf 1 recorded congestion-from-leaf-0 for the tag that was used.
+  EXPECT_EQ(leaves[1]->congestion_from(0, p.conga.lb_tag), p.conga.ce);
+}
+
+TEST_F(CongaFixture, FeedbackLoopPopulatesSourceTable) {
+  // Forward traffic 0 -> 1, then reverse traffic 1 -> 0 piggybacks feedback
+  // which populates leaf 1's congestion-to-leaf table... and vice versa.
+  send(1000);
+  sim.run();
+  dst->port(0)->enqueue(make_data(tuple(dst->ip(), src->ip(), 2000), 0, 1000));
+  sim.run();
+  // Reverse packet carried fb for leaf-0 tags; leaf 0 stored it. Values are
+  // zeros on an idle fabric; the mechanism is visible via a non-crashing
+  // read and via stamping on the reverse packet.
+  ASSERT_EQ(src->received.size(), 1u);
+  EXPECT_TRUE(src->received[0]->conga.present);
+  EXPECT_TRUE(src->received[0]->conga.fb_present);
+}
+
+TEST_F(CongaFixture, FlowletSticksToUplink) {
+  // Back-to-back packets of one flow traverse the same uplink (same spine
+  // ingress), packets after a long gap may move.
+  for (int i = 0; i < 5; ++i) send(1000, i * 1000);
+  sim.run();
+  ASSERT_EQ(dst->received.size(), 5u);
+  std::set<int> tags;
+  for (const auto& p : dst->received) tags.insert(p->conga.lb_tag);
+  EXPECT_EQ(tags.size(), 1u);
+}
+
+TEST_F(CongaFixture, NewFlowletsSpreadOverUplinks) {
+  // Many flows at once: at least 3 of the 4 uplink tags get used.
+  for (std::uint16_t f = 0; f < 64; ++f) send(static_cast<std::uint16_t>(1000 + f));
+  sim.run();
+  std::set<int> tags;
+  for (const auto& p : dst->received) tags.insert(p->conga.lb_tag);
+  EXPECT_GE(tags.size(), 3u);
+}
+
+TEST_F(CongaFixture, AvoidsCongestedUplink) {
+  // Tell leaf 0 (via its to-leaf table) that tags 0..2 toward leaf 1 are
+  // heavily congested; new flowlets must choose tag 3.
+  auto* leaf0 = leaves[0];
+  // Feed the table through the public path: reverse packets with fb bits.
+  for (std::uint8_t tag = 0; tag < 3; ++tag) {
+    auto p = make_data(tuple(dst->ip(), src->ip(), 3000), 0, 100);
+    p->conga.present = true;
+    p->conga.src_leaf = 1;  // irrelevant for fb
+    p->conga.lb_tag = 0;
+    p->conga.fb_present = true;
+    p->conga.fb_tag = tag;
+    p->conga.fb_ce = 7;
+    // Deliver into leaf 0 from the fabric side (its first uplink port).
+    leaf0->receive(std::move(p), /*in_port=*/0);
+  }
+  sim.run();
+  for (std::uint16_t f = 0; f < 16; ++f) {
+    send(static_cast<std::uint16_t>(5000 + f));
+  }
+  sim.run();
+  std::set<int> tags;
+  for (const auto& p : dst->received) {
+    if (p->inner.src_port >= 5000) tags.insert(p->conga.lb_tag);
+  }
+  ASSERT_FALSE(tags.empty());
+  EXPECT_EQ(tags.count(3), 1u);
+  EXPECT_EQ(tags.size(), 1u);
+}
+
+TEST_F(CongaFixture, MetricsAgeOut) {
+  auto* leaf0 = leaves[0];
+  auto p = make_data(tuple(dst->ip(), src->ip(), 3000), 0, 100);
+  p->conga.present = true;
+  p->conga.src_leaf = 1;
+  p->conga.fb_present = true;
+  p->conga.fb_tag = 0;
+  p->conga.fb_ce = 7;
+  leaf0->receive(std::move(p), 0);
+  sim.run();
+  EXPECT_EQ(leaf0->congestion_to(1, 0), 7);
+  // After the aging window the entry reads as 0.
+  sim.schedule_in(sim::seconds(1.0), [] {});
+  sim.run();
+  EXPECT_EQ(leaf0->congestion_to(1, 0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// LetFlow
+// ---------------------------------------------------------------------------
+
+class LetFlowFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo = std::make_unique<Topology>(sim);
+    LeafSpineConfig cfg;
+    cfg.hosts_per_leaf = 2;
+    fabric = build_leaf_spine(
+        *topo, cfg,
+        [](Topology& t, const std::string& name, int) -> Node* {
+          return t.add_host<SinkNode>(name);
+        },
+        [this](NodeId id, std::string name,
+               int leaf_idx) -> std::unique_ptr<Switch> {
+          if (leaf_idx >= 0) {
+            return std::make_unique<LetFlowSwitch>(sim, id, std::move(name),
+                                                   100 * sim::kMicrosecond);
+          }
+          return std::make_unique<Switch>(sim, id, std::move(name));
+        });
+    src = static_cast<SinkNode*>(fabric.hosts_by_leaf[0][0]);
+    dst = static_cast<SinkNode*>(fabric.hosts_by_leaf[1][0]);
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<Topology> topo;
+  LeafSpine fabric;
+  SinkNode* src{nullptr};
+  SinkNode* dst{nullptr};
+};
+
+TEST_F(LetFlowFixture, DeliversEndToEnd) {
+  src->port(0)->enqueue(make_data(tuple(src->ip(), dst->ip()), 0, 1000));
+  sim.run();
+  EXPECT_EQ(dst->received.size(), 1u);
+}
+
+TEST_F(LetFlowFixture, FlowletsStickWithinGap) {
+  // Within-gap packets of one flow keep one TTL pattern (same path length);
+  // we detect path changes via the spine that handled them. Use many flows
+  // after long gaps instead: random uplinks should cover several ports.
+  for (int i = 0; i < 6; ++i) {
+    src->port(0)->enqueue(make_data(tuple(src->ip(), dst->ip()), i * 1000, 500));
+  }
+  sim.run();
+  EXPECT_EQ(dst->received.size(), 6u);
+}
+
+TEST_F(LetFlowFixture, DifferentFlowsUseDifferentPaths) {
+  // With random per-flowlet uplinks, 64 flows should not all share one path.
+  // Observe spread via spine switch forward counters.
+  for (std::uint16_t f = 0; f < 64; ++f) {
+    src->port(0)->enqueue(
+        make_data(tuple(src->ip(), dst->ip(), static_cast<std::uint16_t>(
+                                                  1000 + f)),
+                  0, 500));
+  }
+  sim.run();
+  EXPECT_EQ(dst->received.size(), 64u);
+  EXPECT_GT(fabric.spines[0]->stats().forwarded, 10u);
+  EXPECT_GT(fabric.spines[1]->stats().forwarded, 10u);
+}
+
+}  // namespace
+}  // namespace clove::net

@@ -1,0 +1,187 @@
+// Cross-cutting invariants of the simulator substrate, checked over
+// randomized scenarios: packet conservation at links, TTL monotonicity,
+// WRR fairness, and byte-exact TCP delivery under every composed scheme.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "harness/experiment.hpp"
+#include "lb/clove_ecn.hpp"
+#include "net/link.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+#include "transport/tcp.hpp"
+
+namespace clove {
+namespace {
+
+using clove::testutil::SinkNode;
+using clove::testutil::make_data;
+using clove::testutil::tuple;
+
+// ---------------------------------------------------------------------------
+// Link-level packet conservation: everything offered is either transmitted
+// or counted as a drop, never silently lost.
+// ---------------------------------------------------------------------------
+
+class LinkConservation : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkConservation, ::testing::Values(1, 2, 3, 4));
+
+TEST_P(LinkConservation, OfferedEqualsTxPlusDrops) {
+  sim::Simulator sim(static_cast<std::uint64_t>(GetParam()));
+  SinkNode sink(1, "sink");
+  net::LinkConfig cfg;
+  cfg.rate_bytes_per_sec = 1e9;
+  cfg.queue_capacity_bytes = 8'000;
+  net::Link link(sim, 0, "l", &sink, 0, cfg);
+
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17);
+  const int offered = 500;
+  // Offer packets in bursts at random times; many will overflow.
+  for (int i = 0; i < offered; ++i) {
+    const sim::Time at =
+        static_cast<sim::Time>(rng.uniform_int(std::uint64_t{200'000}));
+    sim.schedule_at(at, [&link, &rng] {
+      link.enqueue(make_data(tuple(10, 1), 0,
+                             static_cast<std::uint32_t>(
+                                 100 + rng.uniform_int(std::uint64_t{1400}))));
+    });
+  }
+  sim.run();
+  EXPECT_EQ(link.stats().tx_packets + link.stats().drops_overflow +
+                link.stats().drops_down,
+            static_cast<std::uint64_t>(offered));
+  EXPECT_EQ(sink.received.size(), link.stats().tx_packets);
+  EXPECT_EQ(link.queue_bytes(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric-wide conservation and TTL sanity on the leaf-spine.
+// ---------------------------------------------------------------------------
+
+TEST(FabricInvariants, DeliveredPlusDroppedEqualsInjected) {
+  sim::Simulator sim(7);
+  net::Topology topo(sim);
+  net::LeafSpineConfig cfg;
+  cfg.hosts_per_leaf = 4;
+  cfg.host_queue_pkts = 16;  // tiny queues: force drops
+  cfg.fabric_queue_pkts = 16;
+  net::LeafSpine net = net::build_leaf_spine(
+      topo, cfg, [](net::Topology& t, const std::string& n, int) -> net::Node* {
+        return t.add_host<SinkNode>(n);
+      });
+
+  auto* src = static_cast<SinkNode*>(net.hosts_by_leaf[0][0]);
+  const int injected = 2000;
+  sim::Rng rng(3);
+  for (int i = 0; i < injected; ++i) {
+    const std::size_t d = rng.uniform_int(std::uint64_t{4});
+    auto pkt = make_data(tuple(src->ip(), net.hosts_by_leaf[1][d]->ip(),
+                               static_cast<std::uint16_t>(1000 + i % 97)),
+                         0, 1000);
+    sim.schedule_at(static_cast<sim::Time>(i) * 200, [&src, p = pkt.release()]() mutable {
+      src->port(0)->enqueue(net::PacketPtr(p));
+    });
+  }
+  sim.run();
+
+  std::uint64_t delivered = 0;
+  for (net::Node* h : net.hosts_by_leaf[1]) {
+    delivered += static_cast<SinkNode*>(h)->received.size();
+  }
+  std::uint64_t dropped = 0;
+  for (const auto& l : topo.links()) {
+    dropped += l->stats().drops_overflow + l->stats().drops_down;
+  }
+  EXPECT_EQ(delivered + dropped, static_cast<std::uint64_t>(injected));
+
+  // TTL: exactly 3 switch hops for cross-leaf traffic.
+  for (net::Node* h : net.hosts_by_leaf[1]) {
+    for (const auto& p : static_cast<SinkNode*>(h)->received) {
+      EXPECT_EQ(p->ttl, 64 - 3);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WRR fairness: over many flowlets the port distribution tracks the weights.
+// ---------------------------------------------------------------------------
+
+TEST(WrrFairness, UniformWeightsGiveUniformShares) {
+  lb::CloveEcnConfig cfg;
+  cfg.recovery_interval = sim::seconds(100.0);
+  lb::CloveEcnPolicy pol(cfg);
+  overlay::PathSet ps;
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    overlay::PathInfo info;
+    info.port = static_cast<std::uint16_t>(50000 + i);
+    info.hops = {{10, static_cast<int>(i)}, {2, 0}};
+    ps.paths.push_back(info);
+  }
+  pol.on_paths_updated(2, ps);
+  std::map<std::uint16_t, int> counts;
+  for (int i = 0; i < 4000; ++i) {
+    auto pkt = make_data(
+        tuple(1, 2, static_cast<std::uint16_t>(1000 + i)), 0, 100);
+    ++counts[pol.pick_port(*pkt, 2, 0)];
+  }
+  for (const auto& [port, n] : counts) EXPECT_EQ(n, 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-exact delivery under every scheme, with a lossy asymmetric fabric.
+// ---------------------------------------------------------------------------
+
+class ByteExact : public ::testing::TestWithParam<harness::Scheme> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ByteExact,
+    ::testing::Values(harness::Scheme::kEcmp, harness::Scheme::kCloveEcn,
+                      harness::Scheme::kPresto, harness::Scheme::kConga),
+    [](const ::testing::TestParamInfo<harness::Scheme>& info) {
+      std::string n = harness::scheme_name(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST_P(ByteExact, ReceiverSeesExactlyTheBytesWritten) {
+  harness::ExperimentConfig cfg = harness::make_ns2_profile();
+  cfg.scheme = GetParam();
+  cfg.asymmetric = true;
+  cfg.topo.hosts_per_leaf = 4;
+  cfg.topo.fabric_queue_pkts = 32;  // lossy
+  cfg.discovery.probe_timeout = 5 * sim::kMillisecond;
+  cfg.traffic_start = 15 * sim::kMillisecond;
+  harness::Testbed tb(cfg);
+  tb.start_discovery();
+
+  auto* c = tb.clients()[0];
+  auto* s = tb.servers()[0];
+  transport::TcpSender tx(
+      *c, net::FiveTuple{c->ip(), s->ip(), 9000, 80, net::Proto::kTcp},
+      cfg.tcp);
+  c->register_endpoint(tx.tuple(), &tx);
+  std::uint64_t delivered = 0;
+  s->on_new_receiver = [&](transport::TcpReceiver& rx, const net::FiveTuple&) {
+    rx.on_deliver = [&](std::uint64_t total) { delivered = total; };
+  };
+  const std::uint64_t bytes = 3'333'333;  // non-MSS-aligned on purpose
+  bool done = false;
+  tb.simulator().schedule_at(cfg.traffic_start, [&] {
+    tx.write(bytes, [&](sim::Time) {
+      done = true;
+      tb.simulator().stop();
+    });
+  });
+  tb.simulator().run(sim::seconds(120.0));
+  EXPECT_TRUE(done) << harness::scheme_name(GetParam());
+  EXPECT_EQ(delivered, bytes);
+}
+
+}  // namespace
+}  // namespace clove

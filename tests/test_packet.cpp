@@ -1,0 +1,122 @@
+// Tests for packet structures and hashing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "net/packet.hpp"
+#include "test_util.hpp"
+
+namespace clove::net {
+namespace {
+
+TEST(FiveTuple, Equality) {
+  FiveTuple a{1, 2, 10, 20, Proto::kTcp};
+  FiveTuple b{1, 2, 10, 20, Proto::kTcp};
+  EXPECT_EQ(a, b);
+  b.src_port = 11;
+  EXPECT_NE(a, b);
+}
+
+TEST(FiveTuple, Reversed) {
+  FiveTuple a{1, 2, 10, 20, Proto::kTcp};
+  FiveTuple r = a.reversed();
+  EXPECT_EQ(r.src_ip, 2u);
+  EXPECT_EQ(r.dst_ip, 1u);
+  EXPECT_EQ(r.src_port, 20);
+  EXPECT_EQ(r.dst_port, 10);
+  EXPECT_EQ(r.reversed(), a);
+}
+
+TEST(FiveTuple, HashDistinguishesFields) {
+  FiveTupleHash h;
+  FiveTuple base{1, 2, 10, 20, Proto::kTcp};
+  FiveTuple by_src = base;
+  by_src.src_ip = 9;
+  FiveTuple by_port = base;
+  by_port.src_port = 9;
+  FiveTuple by_proto = base;
+  by_proto.proto = Proto::kStt;
+  EXPECT_NE(h(base), h(by_src));
+  EXPECT_NE(h(base), h(by_port));
+  EXPECT_NE(h(base), h(by_proto));
+}
+
+TEST(Packet, WireTupleUsesOuterWhenEncapped) {
+  auto p = make_packet();
+  p->inner = FiveTuple{1, 2, 10, 20, Proto::kTcp};
+  EXPECT_EQ(p->wire_tuple(), p->inner);
+  p->encap.present = true;
+  p->encap.tuple = FiveTuple{100, 200, 3000, 7471, Proto::kStt};
+  EXPECT_EQ(p->wire_tuple(), p->encap.tuple);
+  EXPECT_EQ(p->wire_src(), 100u);
+  EXPECT_EQ(p->wire_dst(), 200u);
+}
+
+TEST(Packet, WireSizeIncludesHeaders) {
+  auto p = make_packet();
+  p->payload = 1460;
+  EXPECT_EQ(p->wire_size(), 1460 + Packet::kHeaderBytes);
+}
+
+TEST(Packet, UniqueIds) {
+  std::unordered_set<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.insert(make_packet()->uid);
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(HashTuple, DeterministicAndSaltSensitive) {
+  FiveTuple t{1, 2, 10, 20, Proto::kTcp};
+  EXPECT_EQ(hash_tuple(t, 7), hash_tuple(t, 7));
+  EXPECT_NE(hash_tuple(t, 7), hash_tuple(t, 8));
+}
+
+TEST(HashTuple, UniformAcrossPorts) {
+  // ECMP quality check: hashing many source ports into 4 buckets should
+  // spread roughly evenly — this is what path discovery relies on.
+  int buckets[4] = {0, 0, 0, 0};
+  for (int sp = 0; sp < 16384; ++sp) {
+    FiveTuple t{1, 2, static_cast<std::uint16_t>(sp), 7471, Proto::kStt};
+    ++buckets[hash_tuple(t, 42) % 4];
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 3600);
+    EXPECT_LT(b, 4600);
+  }
+}
+
+TEST(HashTuple, IndependentAcrossSalts) {
+  // Two switches (salts) should make nearly independent decisions: the joint
+  // distribution over (choice1, choice2) covers all combinations.
+  std::set<std::pair<int, int>> combos;
+  for (int sp = 0; sp < 1000; ++sp) {
+    FiveTuple t{1, 2, static_cast<std::uint16_t>(sp), 7471, Proto::kStt};
+    combos.emplace(hash_tuple(t, 1) % 4, hash_tuple(t, 2) % 2);
+  }
+  EXPECT_EQ(combos.size(), 8u);
+}
+
+TEST(IntStack, PushAndMax) {
+  IntStack s;
+  s.enabled = true;
+  s.push(0.3f);
+  s.push(0.7f);
+  s.push(0.5f);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_FLOAT_EQ(s.max_util(), 0.7f);
+}
+
+TEST(IntStack, CapsAtMaxHops) {
+  IntStack s;
+  for (int i = 0; i < 20; ++i) s.push(0.1f);
+  EXPECT_EQ(s.count, IntStack::kMaxHops);
+}
+
+TEST(IntStack, EmptyMaxIsZero) {
+  IntStack s;
+  EXPECT_FLOAT_EQ(s.max_util(), 0.0f);
+}
+
+}  // namespace
+}  // namespace clove::net

@@ -1,0 +1,195 @@
+// Tests for the edge load-balancing policies: ECMP, Edge-Flowlet, Presto.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lb/ecmp.hpp"
+#include "lb/edge_flowlet.hpp"
+#include "lb/presto.hpp"
+#include "test_util.hpp"
+
+namespace clove::lb {
+namespace {
+
+using clove::testutil::make_data;
+using clove::testutil::tuple;
+using sim::kMicrosecond;
+
+overlay::PathSet four_paths() {
+  overlay::PathSet ps;
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    overlay::PathInfo p;
+    p.port = static_cast<std::uint16_t>(50000 + i);
+    p.hops = {{10, 0},
+              {static_cast<net::IpAddr>(20 + i / 2), static_cast<int>(i % 2)},
+              {11, static_cast<int>(i % 2)},
+              {2, 0}};
+    ps.paths.push_back(p);
+  }
+  ps.discovered_at = 0;
+  return ps;
+}
+
+// ---------------------------------------------------------------------------
+// ECMP
+// ---------------------------------------------------------------------------
+
+TEST(EcmpPolicy, StablePerFlow) {
+  EcmpPolicy p;
+  auto pkt = make_data(tuple(1, 2), 0, 100);
+  const auto port = p.pick_port(*pkt, 2, 0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(p.pick_port(*pkt, 2, i * kMicrosecond * 1000), port);
+  }
+}
+
+TEST(EcmpPolicy, DifferentFlowsSpread) {
+  EcmpPolicy p;
+  std::set<std::uint16_t> ports;
+  for (std::uint16_t sp = 0; sp < 64; ++sp) {
+    auto pkt = make_data(tuple(1, 2, static_cast<std::uint16_t>(1000 + sp)), 0, 100);
+    ports.insert(p.pick_port(*pkt, 2, 0));
+  }
+  EXPECT_GT(ports.size(), 32u);
+}
+
+TEST(EcmpPolicy, NoSignalsNeeded) {
+  EcmpPolicy p;
+  EXPECT_FALSE(p.wants_ect());
+  EXPECT_FALSE(p.wants_int());
+  EXPECT_FALSE(p.needs_discovery());
+  EXPECT_FALSE(p.all_paths_congested(2, 0));
+  EXPECT_EQ(p.name(), "ecmp");
+}
+
+// ---------------------------------------------------------------------------
+// Edge-Flowlet
+// ---------------------------------------------------------------------------
+
+TEST(EdgeFlowletPolicy, SamePortWithinFlowlet) {
+  EdgeFlowletPolicy p(100 * kMicrosecond);
+  auto pkt = make_data(tuple(1, 2), 0, 100);
+  const auto port = p.pick_port(*pkt, 2, 0);
+  EXPECT_EQ(p.pick_port(*pkt, 2, 50 * kMicrosecond), port);
+  EXPECT_EQ(p.pick_port(*pkt, 2, 120 * kMicrosecond), port);  // gap from prev
+}
+
+TEST(EdgeFlowletPolicy, NewPortAfterGap) {
+  EdgeFlowletPolicy p(100 * kMicrosecond);
+  auto pkt = make_data(tuple(1, 2), 0, 100);
+  std::set<std::uint16_t> ports;
+  sim::Time t = 0;
+  for (int i = 0; i < 16; ++i) {
+    ports.insert(p.pick_port(*pkt, 2, t));
+    t += 200 * kMicrosecond;  // always a new flowlet
+  }
+  EXPECT_GT(ports.size(), 8u);  // fresh pseudo-random port per flowlet
+}
+
+TEST(EdgeFlowletPolicy, FlowsIndependent) {
+  EdgeFlowletPolicy p(100 * kMicrosecond);
+  auto p1 = make_data(tuple(1, 2, 1000), 0, 100);
+  auto p2 = make_data(tuple(1, 2, 1001), 0, 100);
+  // Very likely different ports (different hash inputs).
+  int differ = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto a = make_data(tuple(1, 2, static_cast<std::uint16_t>(2000 + i)), 0, 100);
+    auto b = make_data(tuple(1, 2, static_cast<std::uint16_t>(3000 + i)), 0, 100);
+    if (p.pick_port(*a, 2, 0) != p.pick_port(*b, 2, 0)) ++differ;
+  }
+  EXPECT_GT(differ, 4);
+}
+
+TEST(EdgeFlowletPolicy, CongestionOblivious) {
+  EdgeFlowletPolicy p;
+  EXPECT_FALSE(p.wants_ect());
+  EXPECT_FALSE(p.needs_discovery());
+}
+
+// ---------------------------------------------------------------------------
+// Presto
+// ---------------------------------------------------------------------------
+
+TEST(PrestoPolicy, RotatesEveryFlowcell) {
+  PrestoConfig cfg;
+  cfg.flowcell_bytes = 3000;  // ~2 packets per cell
+  PrestoPolicy p(cfg);
+  p.on_paths_updated(2, four_paths());
+
+  std::vector<std::uint16_t> sequence;
+  for (int i = 0; i < 16; ++i) {
+    auto pkt = make_data(tuple(1, 2), i * 1500, 1500);
+    sequence.push_back(p.pick_port(*pkt, 2, 0));
+  }
+  // Within a cell the port is constant; across cells it rotates through all.
+  std::set<std::uint16_t> distinct(sequence.begin(), sequence.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  EXPECT_EQ(sequence[0], sequence[1]);  // same 3000-byte cell
+  EXPECT_NE(sequence[1], sequence[2]);  // next cell rotated
+}
+
+TEST(PrestoPolicy, UniformWeightsSpreadEvenly) {
+  PrestoConfig cfg;
+  cfg.flowcell_bytes = 1500;
+  PrestoPolicy p(cfg);
+  p.on_paths_updated(2, four_paths());
+  std::map<std::uint16_t, int> counts;
+  for (int i = 0; i < 400; ++i) {
+    auto pkt = make_data(tuple(1, 2), i * 1500, 1500);
+    ++counts[p.pick_port(*pkt, 2, 0)];
+  }
+  for (const auto& [port, n] : counts) EXPECT_EQ(n, 100);
+}
+
+TEST(PrestoPolicy, StaticWeightsRespected) {
+  PrestoConfig cfg;
+  cfg.flowcell_bytes = 1500;
+  PrestoPolicy p(cfg);
+  // Paths through "spine 21" (the failed side) get half weight.
+  p.set_weight_fn([](const overlay::PathInfo& path) {
+    for (const auto& h : path.hops) {
+      if (h.node == 21) return 1.0;
+    }
+    return 2.0;
+  });
+  p.on_paths_updated(2, four_paths());
+  std::map<std::uint16_t, int> counts;
+  for (int i = 0; i < 600; ++i) {
+    auto pkt = make_data(tuple(1, 2), i * 1500, 1500);
+    ++counts[p.pick_port(*pkt, 2, 0)];
+  }
+  // Ports 50000/50001 (spine 20): weight 2/6 each = 200; 50002/50003: 100.
+  EXPECT_EQ(counts[50000], 200);
+  EXPECT_EQ(counts[50001], 200);
+  EXPECT_EQ(counts[50002], 100);
+  EXPECT_EQ(counts[50003], 100);
+}
+
+TEST(PrestoPolicy, FallsBackToHashWithoutPaths) {
+  PrestoPolicy p;
+  auto pkt = make_data(tuple(1, 2), 0, 1500);
+  const auto port = p.pick_port(*pkt, 2, 0);
+  EXPECT_EQ(p.pick_port(*pkt, 2, 0), port);  // stable hash fallback
+  EXPECT_TRUE(p.needs_discovery());
+}
+
+TEST(PrestoPolicy, PerFlowRotationIndependent) {
+  PrestoConfig cfg;
+  cfg.flowcell_bytes = 1500;
+  PrestoPolicy p(cfg);
+  p.on_paths_updated(2, four_paths());
+  // Interleave two flows; each must still see all 4 ports over 4 cells.
+  std::set<std::uint16_t> f1_ports, f2_ports;
+  for (int i = 0; i < 4; ++i) {
+    auto a = make_data(tuple(1, 2, 1000), i * 1500, 1500);
+    auto b = make_data(tuple(1, 2, 2000), i * 1500, 1500);
+    f1_ports.insert(p.pick_port(*a, 2, 0));
+    f2_ports.insert(p.pick_port(*b, 2, 0));
+  }
+  EXPECT_EQ(f1_ports.size(), 4u);
+  EXPECT_EQ(f2_ports.size(), 4u);
+}
+
+}  // namespace
+}  // namespace clove::lb

@@ -1,0 +1,333 @@
+// Tests for the simulator core: time helpers, RNG, event queue, simulator
+// clock and timers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace clove::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Time
+// ---------------------------------------------------------------------------
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1.0), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(kMicrosecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(2 * kMillisecond), 2.0);
+}
+
+TEST(Time, TransmissionDelay) {
+  // 1500 bytes at 10 Gb/s = 1.2 us.
+  const double rate = gbps_to_bytes_per_sec(10.0);
+  EXPECT_EQ(transmission_delay(1500, rate), 1200);
+  // 1 byte at 1 GB/s = 1 ns.
+  EXPECT_EQ(transmission_delay(1, 1e9), 1);
+}
+
+TEST(Time, GbpsConversion) {
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_sec(8.0), 1e9);
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_sec(40.0), 5e9);
+}
+
+TEST(Time, Format) {
+  EXPECT_EQ(format_time(5), "5ns");
+  EXPECT_EQ(format_time(kTimeNever), "never");
+  EXPECT_NE(format_time(3 * kMicrosecond).find("us"), std::string::npos);
+  EXPECT_NE(format_time(3 * kMillisecond).find("ms"), std::string::npos);
+  EXPECT_NE(format_time(3 * kSecond).find("s"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(std::uint64_t{10});
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_GT(c, 800);  // roughly uniform
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(static_cast<std::int64_t>(5),
+                                 static_cast<std::int64_t>(9));
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(19);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, WeightedPickProportions) {
+  Rng r(23);
+  std::vector<double> w{1.0, 3.0};
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (r.weighted_pick(w) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedPickAllZeroFallsBackUniform) {
+  Rng r(29);
+  std::vector<double> w{0.0, 0.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) ++counts[r.weighted_pick(w)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == child.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (q.run_next() != kTimeNever) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (q.run_next() != kTimeNever) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.schedule(10, [&] { fired = true; });
+  q.cancel(id);
+  while (q.run_next() != kTimeNever) {
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(1); });
+  EventId id = q.schedule(20, [&] { order.push_back(2); });
+  q.schedule(30, [&] { order.push_back(3); });
+  q.cancel(id);
+  while (q.run_next() != kTimeNever) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId id = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, EmptyAfterDraining) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  EXPECT_FALSE(q.empty());
+  q.run_next();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.run_next(), kTimeNever);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] {
+    order.push_back(1);
+    q.schedule(15, [&] { order.push_back(2); });
+  });
+  while (q.run_next() != kTimeNever) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_in(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(10, [&] { ++fired; });
+  sim.schedule_in(20, [&] { ++fired; });
+  sim.schedule_in(30, [&] { ++fired; });
+  sim.run(20);
+  EXPECT_EQ(fired, 2);  // events at exactly the deadline run
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, StopEndsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(10, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_in(20, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.clear_stop();
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_in(50, [&] {
+    sim.schedule_in(-10, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_in(50, [&] {
+    sim.schedule_at(10, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(Simulator, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Timer, FiresOnce) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule_in(10);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RescheduleReplacesPending) {
+  Simulator sim;
+  std::vector<Time> fires;
+  Timer t(sim, [&] { fires.push_back(sim.now()); });
+  t.schedule_in(10);
+  t.schedule_in(50);  // replaces the 10ns firing
+  sim.run();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], 50);
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule_in(10);
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, CanRearmFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] {
+    if (++fired < 3) t.schedule_in(10);
+  });
+  t.schedule_in(10);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 30);
+}
+
+}  // namespace
+}  // namespace clove::sim

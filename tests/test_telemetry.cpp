@@ -1,0 +1,98 @@
+// Tests for the Discounted Rate Estimator (DRE).
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+#include "telemetry/dre.hpp"
+
+namespace clove::telemetry {
+namespace {
+
+using sim::kMicrosecond;
+
+TEST(Dre, StartsAtZero) {
+  Dre dre(0.1, 50 * kMicrosecond, 1e9);
+  EXPECT_DOUBLE_EQ(dre.utilization(0), 0.0);
+  EXPECT_EQ(dre.quantized(0), 0);
+}
+
+TEST(Dre, ConvergesToLinkUtilization) {
+  // Feed exactly half the link rate for many Tdre intervals: the estimate
+  // should converge to ~0.5.
+  const double capacity = 1e9;  // bytes/s
+  Dre dre(0.1, 50 * kMicrosecond, capacity);
+  const std::int64_t bytes_per_us = static_cast<std::int64_t>(capacity / 2 / 1e6);
+  sim::Time t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += kMicrosecond;
+    dre.on_transmit(t, bytes_per_us);
+  }
+  EXPECT_NEAR(dre.utilization(t), 0.5, 0.05);
+}
+
+TEST(Dre, FullRateReadsNearOne) {
+  const double capacity = 1e9;
+  Dre dre(0.1, 50 * kMicrosecond, capacity);
+  const std::int64_t bytes_per_us = static_cast<std::int64_t>(capacity / 1e6);
+  sim::Time t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += kMicrosecond;
+    dre.on_transmit(t, bytes_per_us);
+  }
+  EXPECT_NEAR(dre.utilization(t), 1.0, 0.1);
+  EXPECT_GE(dre.quantized(t), 6);
+}
+
+TEST(Dre, DecaysWhenIdle) {
+  const double capacity = 1e9;
+  Dre dre(0.1, 50 * kMicrosecond, capacity);
+  sim::Time t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += kMicrosecond;
+    dre.on_transmit(t, 1000);
+  }
+  const double busy = dre.utilization(t);
+  ASSERT_GT(busy, 0.0);
+  // After 20 decay intervals of idleness the register shrinks substantially.
+  const double later = dre.utilization(t + 20 * 50 * kMicrosecond);
+  EXPECT_LT(later, busy * 0.2);
+  // And a very long idle gap flushes it entirely.
+  EXPECT_NEAR(dre.utilization(t + sim::seconds(10.0)), 0.0, 1e-12);
+}
+
+TEST(Dre, QuantizationRange) {
+  Dre dre(0.1, 50 * kMicrosecond, 1e9);
+  sim::Time t = 0;
+  // Overdrive the link 2x: quantized value saturates at the 3-bit max.
+  for (int i = 0; i < 20000; ++i) {
+    t += kMicrosecond;
+    dre.on_transmit(t, 2000);
+  }
+  EXPECT_EQ(dre.quantized(t, 3), 7);
+  EXPECT_EQ(dre.quantized(t, 2), 3);
+}
+
+TEST(Dre, ResetClears) {
+  Dre dre(0.1, 50 * kMicrosecond, 1e9);
+  dre.on_transmit(10 * kMicrosecond, 100000);
+  ASSERT_GT(dre.utilization(10 * kMicrosecond), 0.0);
+  dre.reset();
+  EXPECT_DOUBLE_EQ(dre.utilization(0), 0.0);
+}
+
+TEST(Dre, HigherAlphaTracksFaster) {
+  const double capacity = 1e9;
+  Dre slow(0.05, 50 * kMicrosecond, capacity);
+  Dre fast(0.5, 50 * kMicrosecond, capacity);
+  sim::Time t = 0;
+  // A short burst at full rate: the fast estimator reacts more strongly.
+  for (int i = 0; i < 100; ++i) {
+    t += kMicrosecond;
+    slow.on_transmit(t, 1000);
+    fast.on_transmit(t, 1000);
+  }
+  EXPECT_GT(fast.utilization(t), slow.utilization(t));
+}
+
+}  // namespace
+}  // namespace clove::telemetry

@@ -1,0 +1,77 @@
+// Tests for the TimeSeries telemetry collector.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "stats/timeseries.hpp"
+
+namespace clove::stats {
+namespace {
+
+TEST(TimeSeries, SamplesAtInterval) {
+  sim::Simulator sim;
+  double value = 0.0;
+  TimeSeries ts(sim, "v", [&] { return value; }, sim::milliseconds(10));
+  ts.start();
+  sim.schedule_at(sim::milliseconds(25), [&] { value = 5.0; });
+  sim.run(sim::milliseconds(55));
+  // Samples at 10, 20, 30, 40, 50 ms.
+  ASSERT_EQ(ts.points().size(), 5u);
+  EXPECT_DOUBLE_EQ(ts.points()[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(ts.points()[2].second, 5.0);
+  EXPECT_DOUBLE_EQ(ts.last(), 5.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 5.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 3.0);
+}
+
+TEST(TimeSeries, StopEndsSampling) {
+  sim::Simulator sim;
+  TimeSeries ts(sim, "v", [] { return 1.0; }, sim::milliseconds(10));
+  ts.start();
+  sim.schedule_at(sim::milliseconds(35), [&] { ts.stop(); });
+  sim.run(sim::milliseconds(100));
+  EXPECT_EQ(ts.points().size(), 3u);
+}
+
+TEST(TimeSeries, MeanBetweenWindows) {
+  sim::Simulator sim;
+  double v = 1.0;
+  TimeSeries ts(sim, "v", [&] { return v; }, sim::milliseconds(10));
+  ts.start();
+  sim.schedule_at(sim::milliseconds(45), [&] { v = 3.0; });
+  sim.run(sim::milliseconds(95));
+  EXPECT_DOUBLE_EQ(ts.mean_between(0, sim::milliseconds(45)), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ts.mean_between(sim::milliseconds(45), sim::milliseconds(100)), 3.0);
+}
+
+TEST(TimeSeriesSet, CsvExport) {
+  sim::Simulator sim;
+  TimeSeriesSet set(sim);
+  set.add("a", [] { return 1.0; }, sim::milliseconds(10));
+  set.add("b", [] { return 2.0; }, sim::milliseconds(10));
+  set.start_all();
+  sim.run(sim::milliseconds(30));
+  const std::string csv = set.to_csv();
+  EXPECT_NE(csv.find("time_ms,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("10.000,1,2"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);  // header + 3 rows
+}
+
+TEST(TimeSeriesSet, FindByName) {
+  sim::Simulator sim;
+  TimeSeriesSet set(sim);
+  set.add("x", [] { return 0.0; }, sim::milliseconds(1));
+  EXPECT_NE(set.find("x"), nullptr);
+  EXPECT_EQ(set.find("y"), nullptr);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(TimeSeriesSet, EmptyCsvHasHeaderOnly) {
+  sim::Simulator sim;
+  TimeSeriesSet set(sim);
+  EXPECT_EQ(set.to_csv(), "time_ms\n");
+}
+
+}  // namespace
+}  // namespace clove::stats

@@ -1,0 +1,201 @@
+// Tests for topology construction, shortest-path ECMP routing and failure
+// handling on the paper's leaf-spine fabric.
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace clove::net {
+namespace {
+
+using clove::testutil::SinkNode;
+using clove::testutil::make_data;
+using clove::testutil::tuple;
+
+LeafSpine build_test_fabric(Topology& topo, int hosts_per_leaf = 2) {
+  LeafSpineConfig cfg;
+  cfg.hosts_per_leaf = hosts_per_leaf;
+  return build_leaf_spine(
+      topo, cfg,
+      [](Topology& t, const std::string& name, int) -> Node* {
+        return t.add_host<SinkNode>(name);
+      });
+}
+
+TEST(Topology, ConnectCreatesBothDirections) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  auto* a = topo.add_host<SinkNode>("a");
+  auto* b = topo.add_host<SinkNode>("b");
+  auto [ab, ba] = topo.connect(a, b, LinkConfig{});
+  EXPECT_EQ(ab->dst(), b);
+  EXPECT_EQ(ba->dst(), a);
+  EXPECT_EQ(topo.reverse_of(ab), ba);
+  EXPECT_EQ(topo.reverse_of(ba), ab);
+  EXPECT_EQ(a->port_count(), 1);
+  EXPECT_EQ(b->port_count(), 1);
+}
+
+TEST(Topology, NodeByIpResolves) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  auto* a = topo.add_host<SinkNode>("a");
+  EXPECT_EQ(topo.node_by_ip(a->ip()), a);
+  EXPECT_EQ(topo.node_by_ip(9999), nullptr);
+}
+
+TEST(LeafSpineBuild, PaperShape) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo, 16);
+  EXPECT_EQ(net.leaves.size(), 2u);
+  EXPECT_EQ(net.spines.size(), 2u);
+  EXPECT_EQ(net.hosts_by_leaf[0].size(), 16u);
+  EXPECT_EQ(net.hosts_by_leaf[1].size(), 16u);
+  // Each leaf: 4 fabric ports + 16 host ports.
+  EXPECT_EQ(net.leaves[0]->port_count(), 20);
+  // Each spine: 2 leaves x 2 parallel links.
+  EXPECT_EQ(net.spines[0]->port_count(), 4);
+  // 2 links/pair in each direction + host links: (2*2*2 + 32) * 2 dirs.
+  EXPECT_EQ(topo.links().size(), (8u + 32u) * 2u);
+}
+
+TEST(LeafSpineBuild, LeafOfHost) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo);
+  EXPECT_EQ(net.leaf_of_host(net.hosts_by_leaf[0][0]), 0);
+  EXPECT_EQ(net.leaf_of_host(net.hosts_by_leaf[1][1]), 1);
+}
+
+TEST(LeafSpineRouting, LeafHasFourUplinksForRemoteHost) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo);
+  const auto* route =
+      net.leaves[0]->route(net.hosts_by_leaf[1][0]->ip());
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->size(), 4u);  // 2 spines x 2 parallel links
+}
+
+TEST(LeafSpineRouting, LocalHostSinglePort) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo);
+  const auto* route =
+      net.leaves[0]->route(net.hosts_by_leaf[0][1]->ip());
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->size(), 1u);
+}
+
+TEST(LeafSpineRouting, SpineHasTwoDownlinksPerLeaf) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo);
+  const auto* route =
+      net.spines[0]->route(net.hosts_by_leaf[1][0]->ip());
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->size(), 2u);
+}
+
+TEST(LeafSpineRouting, EndToEndDelivery) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo);
+  auto* src = static_cast<SinkNode*>(net.hosts_by_leaf[0][0]);
+  auto* dst = static_cast<SinkNode*>(net.hosts_by_leaf[1][1]);
+  // Inject at the source's NIC link (as the host would).
+  src->port(0)->enqueue(make_data(tuple(src->ip(), dst->ip()), 0, 100));
+  sim.run();
+  EXPECT_EQ(dst->received.size(), 1u);
+}
+
+TEST(LeafSpineRouting, ManyPortsUseAllFourPaths) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo);
+  auto* src = net.hosts_by_leaf[0][0];
+  auto* dst = net.hosts_by_leaf[1][0];
+  // Count distinct (leaf uplink, spine downlink) decisions over many ports.
+  std::set<std::pair<int, int>> paths;
+  const auto* leaf_route = net.leaves[0]->route(dst->ip());
+  ASSERT_NE(leaf_route, nullptr);
+  for (int sp = 0; sp < 200; ++sp) {
+    FiveTuple t{src->ip(), dst->ip(), static_cast<std::uint16_t>(40000 + sp),
+                7471, Proto::kStt};
+    const int up = net.leaves[0]->ecmp_port(t, leaf_route->size());
+    // Which spine this uplink reaches, and that spine's downlink choice:
+    Link* l = net.leaves[0]->port((*leaf_route)[static_cast<std::size_t>(up)]);
+    auto* spine = static_cast<Switch*>(l->dst());
+    const auto* spine_route = spine->route(dst->ip());
+    const int down = spine->ecmp_port(t, spine_route->size());
+    paths.emplace(up, down);
+  }
+  EXPECT_GE(paths.size(), 7u);  // nearly all 4x2 combinations appear
+}
+
+TEST(Failure, FailConnectionRemovesFromRoutes) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo);
+  const int epoch_before = topo.route_epoch();
+  topo.fail_connection(net.fabric_links[1][1][0]);
+  EXPECT_EQ(topo.route_epoch(), epoch_before + 1);
+  // Spine 1 now has one downlink to leaf 1.
+  const auto* route = net.spines[1]->route(net.hosts_by_leaf[1][0]->ip());
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->size(), 1u);
+  // Leaf 1's uplink set toward leaf-0 hosts shrinks to 3.
+  const auto* up = net.leaves[1]->route(net.hosts_by_leaf[0][0]->ip());
+  ASSERT_NE(up, nullptr);
+  EXPECT_EQ(up->size(), 3u);
+}
+
+TEST(Failure, TrafficStillDeliveredAfterFailure) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo);
+  topo.fail_connection(net.fabric_links[1][1][0]);
+  auto* src = static_cast<SinkNode*>(net.hosts_by_leaf[0][0]);
+  auto* dst = static_cast<SinkNode*>(net.hosts_by_leaf[1][0]);
+  for (int sp = 0; sp < 32; ++sp) {
+    auto p = make_data(tuple(src->ip(), dst->ip(),
+                             static_cast<std::uint16_t>(1000 + sp)),
+                       0, 100);
+    src->port(0)->enqueue(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(dst->received.size(), 32u);
+}
+
+TEST(Failure, RestoreBringsPathsBack) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo);
+  topo.fail_connection(net.fabric_links[1][1][0]);
+  topo.restore_connection(net.fabric_links[1][1][0]);
+  const auto* route = net.leaves[0]->route(net.hosts_by_leaf[1][0]->ip());
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->size(), 4u);
+}
+
+TEST(Failure, WholeSpineDisconnection) {
+  // Fail both S2 links to L2: S2 must drop out of L1's route to leaf-1
+  // hosts entirely (no path through it), leaving the 2 S1 links.
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpine net = build_test_fabric(topo);
+  topo.fail_connection(net.fabric_links[1][1][0]);
+  topo.fail_connection(net.fabric_links[1][1][1]);
+  const auto* route = net.leaves[0]->route(net.hosts_by_leaf[1][0]->ip());
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->size(), 2u);
+  for (int p : *route) {
+    EXPECT_EQ(net.leaves[0]->port(p)->dst(), net.spines[0]);
+  }
+}
+
+}  // namespace
+}  // namespace clove::net
