@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_letflow.dir/bench_ablation_letflow.cpp.o"
+  "CMakeFiles/bench_ablation_letflow.dir/bench_ablation_letflow.cpp.o.d"
+  "bench_ablation_letflow"
+  "bench_ablation_letflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_letflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

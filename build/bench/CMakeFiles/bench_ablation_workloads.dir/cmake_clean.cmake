@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_workloads.dir/bench_ablation_workloads.cpp.o"
+  "CMakeFiles/bench_ablation_workloads.dir/bench_ablation_workloads.cpp.o.d"
+  "bench_ablation_workloads"
+  "bench_ablation_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

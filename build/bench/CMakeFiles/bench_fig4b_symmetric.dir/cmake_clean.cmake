@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_symmetric.dir/bench_fig4b_symmetric.cpp.o"
+  "CMakeFiles/bench_fig4b_symmetric.dir/bench_fig4b_symmetric.cpp.o.d"
+  "bench_fig4b_symmetric"
+  "bench_fig4b_symmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

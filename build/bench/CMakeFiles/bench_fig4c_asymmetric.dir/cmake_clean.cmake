@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_asymmetric.dir/bench_fig4c_asymmetric.cpp.o"
+  "CMakeFiles/bench_fig4c_asymmetric.dir/bench_fig4c_asymmetric.cpp.o.d"
+  "bench_fig4c_asymmetric"
+  "bench_fig4c_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_incast.dir/bench_fig7_incast.cpp.o"
+  "CMakeFiles/bench_fig7_incast.dir/bench_fig7_incast.cpp.o.d"
+  "bench_fig7_incast"
+  "bench_fig7_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

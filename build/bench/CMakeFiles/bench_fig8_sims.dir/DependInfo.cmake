@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_sims.cpp" "bench/CMakeFiles/bench_fig8_sims.dir/bench_fig8_sims.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_sims.dir/bench_fig8_sims.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/clove_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/clove_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/clove_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/clove_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/clove_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clove_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clove_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clove_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sims.dir/bench_fig8_sims.cpp.o"
+  "CMakeFiles/bench_fig8_sims.dir/bench_fig8_sims.cpp.o.d"
+  "bench_fig8_sims"
+  "bench_fig8_sims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fat_tree_clove.dir/fat_tree_clove.cpp.o"
+  "CMakeFiles/fat_tree_clove.dir/fat_tree_clove.cpp.o.d"
+  "fat_tree_clove"
+  "fat_tree_clove.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fat_tree_clove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fat_tree_clove.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_fanout.dir/incast_fanout.cpp.o"
+  "CMakeFiles/incast_fanout.dir/incast_fanout.cpp.o.d"
+  "incast_fanout"
+  "incast_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_failure_recovery.dir/link_failure_recovery.cpp.o"
+  "CMakeFiles/link_failure_recovery.dir/link_failure_recovery.cpp.o.d"
+  "link_failure_recovery"
+  "link_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

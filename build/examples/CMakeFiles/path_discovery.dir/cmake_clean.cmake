@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_discovery.dir/path_discovery.cpp.o"
+  "CMakeFiles/path_discovery.dir/path_discovery.cpp.o.d"
+  "path_discovery"
+  "path_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

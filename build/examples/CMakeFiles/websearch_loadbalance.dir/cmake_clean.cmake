@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websearch_loadbalance.dir/websearch_loadbalance.cpp.o"
+  "CMakeFiles/websearch_loadbalance.dir/websearch_loadbalance.cpp.o.d"
+  "websearch_loadbalance"
+  "websearch_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websearch_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

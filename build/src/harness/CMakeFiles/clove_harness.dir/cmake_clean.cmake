@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clove_harness.dir/experiment.cpp.o"
+  "CMakeFiles/clove_harness.dir/experiment.cpp.o.d"
+  "libclove_harness.a"
+  "libclove_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clove_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clove_lb.dir/clove_ecn.cpp.o"
+  "CMakeFiles/clove_lb.dir/clove_ecn.cpp.o.d"
+  "libclove_lb.a"
+  "libclove_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clove_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clove_net.dir/conga_switch.cpp.o"
+  "CMakeFiles/clove_net.dir/conga_switch.cpp.o.d"
+  "CMakeFiles/clove_net.dir/fat_tree.cpp.o"
+  "CMakeFiles/clove_net.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/clove_net.dir/link.cpp.o"
+  "CMakeFiles/clove_net.dir/link.cpp.o.d"
+  "CMakeFiles/clove_net.dir/packet.cpp.o"
+  "CMakeFiles/clove_net.dir/packet.cpp.o.d"
+  "CMakeFiles/clove_net.dir/switch.cpp.o"
+  "CMakeFiles/clove_net.dir/switch.cpp.o.d"
+  "CMakeFiles/clove_net.dir/topology.cpp.o"
+  "CMakeFiles/clove_net.dir/topology.cpp.o.d"
+  "libclove_net.a"
+  "libclove_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clove_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

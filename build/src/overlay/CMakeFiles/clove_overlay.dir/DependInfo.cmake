@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/hypervisor.cpp" "src/overlay/CMakeFiles/clove_overlay.dir/hypervisor.cpp.o" "gcc" "src/overlay/CMakeFiles/clove_overlay.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/overlay/traceroute.cpp" "src/overlay/CMakeFiles/clove_overlay.dir/traceroute.cpp.o" "gcc" "src/overlay/CMakeFiles/clove_overlay.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/clove_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clove_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/clove_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/clove_lb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

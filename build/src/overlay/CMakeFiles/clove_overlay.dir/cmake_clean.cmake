@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clove_overlay.dir/hypervisor.cpp.o"
+  "CMakeFiles/clove_overlay.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/clove_overlay.dir/traceroute.cpp.o"
+  "CMakeFiles/clove_overlay.dir/traceroute.cpp.o.d"
+  "libclove_overlay.a"
+  "libclove_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clove_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clove_sim.dir/logging.cpp.o"
+  "CMakeFiles/clove_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/clove_sim.dir/random.cpp.o"
+  "CMakeFiles/clove_sim.dir/random.cpp.o.d"
+  "CMakeFiles/clove_sim.dir/time.cpp.o"
+  "CMakeFiles/clove_sim.dir/time.cpp.o.d"
+  "libclove_sim.a"
+  "libclove_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clove_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clove_stats.dir/stats.cpp.o"
+  "CMakeFiles/clove_stats.dir/stats.cpp.o.d"
+  "CMakeFiles/clove_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/clove_stats.dir/timeseries.cpp.o.d"
+  "libclove_stats.a"
+  "libclove_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clove_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclove_stats.a"
+)

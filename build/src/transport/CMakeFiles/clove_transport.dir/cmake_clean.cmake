@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clove_transport.dir/mptcp.cpp.o"
+  "CMakeFiles/clove_transport.dir/mptcp.cpp.o.d"
+  "CMakeFiles/clove_transport.dir/tcp.cpp.o"
+  "CMakeFiles/clove_transport.dir/tcp.cpp.o.d"
+  "libclove_transport.a"
+  "libclove_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clove_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

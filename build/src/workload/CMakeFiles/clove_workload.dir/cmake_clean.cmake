@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clove_workload.dir/client_server.cpp.o"
+  "CMakeFiles/clove_workload.dir/client_server.cpp.o.d"
+  "CMakeFiles/clove_workload.dir/flow_size.cpp.o"
+  "CMakeFiles/clove_workload.dir/flow_size.cpp.o.d"
+  "libclove_workload.a"
+  "libclove_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clove_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_gap.cpp" "tests/CMakeFiles/clove_tests.dir/test_adaptive_gap.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_adaptive_gap.cpp.o.d"
+  "/root/repo/tests/test_clove_policies.cpp" "tests/CMakeFiles/clove_tests.dir/test_clove_policies.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_clove_policies.cpp.o.d"
+  "/root/repo/tests/test_conga_letflow.cpp" "tests/CMakeFiles/clove_tests.dir/test_conga_letflow.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_conga_letflow.cpp.o.d"
+  "/root/repo/tests/test_fat_tree.cpp" "tests/CMakeFiles/clove_tests.dir/test_fat_tree.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_fat_tree.cpp.o.d"
+  "/root/repo/tests/test_flowlet.cpp" "tests/CMakeFiles/clove_tests.dir/test_flowlet.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_flowlet.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/clove_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_hypervisor.cpp" "tests/CMakeFiles/clove_tests.dir/test_hypervisor.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_hypervisor.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/clove_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/clove_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_link.cpp" "tests/CMakeFiles/clove_tests.dir/test_link.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_link.cpp.o.d"
+  "/root/repo/tests/test_mptcp.cpp" "tests/CMakeFiles/clove_tests.dir/test_mptcp.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_mptcp.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "tests/CMakeFiles/clove_tests.dir/test_packet.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/clove_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/clove_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_reorder.cpp" "tests/CMakeFiles/clove_tests.dir/test_reorder.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_reorder.cpp.o.d"
+  "/root/repo/tests/test_sack.cpp" "tests/CMakeFiles/clove_tests.dir/test_sack.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_sack.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/clove_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/clove_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_switch.cpp" "tests/CMakeFiles/clove_tests.dir/test_switch.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_switch.cpp.o.d"
+  "/root/repo/tests/test_tcp.cpp" "tests/CMakeFiles/clove_tests.dir/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_tcp.cpp.o.d"
+  "/root/repo/tests/test_telemetry.cpp" "tests/CMakeFiles/clove_tests.dir/test_telemetry.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_telemetry.cpp.o.d"
+  "/root/repo/tests/test_timeseries.cpp" "tests/CMakeFiles/clove_tests.dir/test_timeseries.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_timeseries.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/clove_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_traceroute.cpp" "tests/CMakeFiles/clove_tests.dir/test_traceroute.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_traceroute.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/clove_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/clove_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/clove_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/clove_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/clove_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/clove_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/clove_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clove_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clove_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clove_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
