@@ -10,6 +10,7 @@ int main() {
   const auto scale = harness::BenchScale::from_env();
   bench::print_header("Ablation A3 - §7 extensions (latency signal, non-overlay)",
                       "CoNEXT'17 Clove §7", scale);
+  bench::Artifact artifact("ablation_extensions", "CoNEXT'17 Clove §7", scale);
 
   struct Variant {
     const char* label;

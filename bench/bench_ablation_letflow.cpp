@@ -12,6 +12,7 @@ int main() {
   bench::print_header(
       "Ablation A1 - edge flowlets vs in-switch flowlets (asymmetric)",
       "CoNEXT'17 Clove §8 (LetFlow discussion)", scale);
+  bench::Artifact artifact("ablation_letflow", "CoNEXT'17 Clove §8 (LetFlow discussion)", scale);
 
   const std::vector<harness::Scheme> schemes = {harness::Scheme::kEcmp,
                                                 harness::Scheme::kEdgeFlowlet,

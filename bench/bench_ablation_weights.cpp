@@ -11,6 +11,7 @@ int main() {
   bench::print_header(
       "Ablation A2 - Clove-ECN reduce factor & ECN relay interval",
       "CoNEXT'17 Clove §3.2/§4 design choices", scale);
+  bench::Artifact artifact("ablation_weights", "CoNEXT'17 Clove §3.2/§4 design choices", scale);
 
   const double load = 0.7;
 

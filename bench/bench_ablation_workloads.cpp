@@ -13,6 +13,7 @@ int main() {
   const auto scale = harness::BenchScale::from_env();
   bench::print_header("Ablation A4 - workload distribution sensitivity",
                       "CoNEXT'17 Clove §5 workload choice", scale);
+  bench::Artifact artifact("ablation_workloads", "CoNEXT'17 Clove §5 workload choice", scale);
 
   const std::vector<harness::Scheme> schemes = {harness::Scheme::kEcmp,
                                                 harness::Scheme::kEdgeFlowlet,

@@ -9,13 +9,21 @@
 //
 // Each binary prints the same rows/series as the corresponding figure in the
 // paper; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Machine-readable artifacts: set CLOVE_JSON_OUT=<dir> and each bench writes
+// <dir>/<bench>.json with every swept point (FCT stats + fabric counters +
+// a telemetry metrics digest). Declaring a bench::Artifact near the top of
+// main() is all a bench needs; run_point() records into it automatically.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
 #include "stats/stats.hpp"
+#include "telemetry/artifact.hpp"
+#include "telemetry/hub.hpp"
 #include "workload/client_server.hpp"
 
 namespace clove::bench {
@@ -25,10 +33,143 @@ struct SweepResult {
   double mice_avg_fct_s{0.0};
   double elephant_avg_fct_s{0.0};
   double p99_fct_s{0.0};
+  std::uint64_t jobs{0};              ///< summed over seeds
+  std::uint64_t timeouts{0};          ///< summed over seeds
+  std::uint64_t fast_retransmits{0};  ///< summed over seeds
+  std::uint64_t ecn_marks{0};         ///< summed over seeds
+  std::uint64_t drops{0};             ///< summed over seeds
   std::shared_ptr<stats::FctRecorder> fct;  ///< from the last seed
+  /// Registry snapshot from the last seed (only when the hub is enabled).
+  telemetry::MetricsSnapshot metrics;
 };
 
-/// Run one (scheme, load) point averaged over `seeds` seeds.
+/// Collects every point a bench sweeps and, when CLOVE_JSON_OUT is set,
+/// writes `<dir>/<bench>.json` on destruction. Constructing one enables the
+/// telemetry hub when artifacts are requested, so snapshots carry data.
+/// run_point() records into the current (most recent) instance.
+class Artifact {
+ public:
+  Artifact(std::string name, std::string paper_ref,
+           const harness::BenchScale& scale)
+      : name_(std::move(name)),
+        doc_(telemetry::Json::object()),
+        points_(telemetry::Json::array()),
+        values_(telemetry::Json::array()),
+        start_(std::chrono::steady_clock::now()) {
+    doc_.set("bench", telemetry::Json(name_));
+    doc_.set("reproduces", telemetry::Json(paper_ref));
+    telemetry::Json sc = telemetry::Json::object();
+    sc.set("jobs_per_conn", telemetry::Json(scale.jobs_per_conn));
+    sc.set("seeds", telemetry::Json(scale.seeds));
+    sc.set("conns_per_client", telemetry::Json(scale.conns_per_client));
+    doc_.set("scale", sc);
+    // Artifacts without telemetry would carry all-zero counters; requesting
+    // JSON output implies wanting the instrumented values.
+    if (!telemetry::json_out_dir().empty()) {
+      telemetry::hub().set_enabled(true);
+    }
+    current_ = this;
+  }
+
+  Artifact(const Artifact&) = delete;
+  Artifact& operator=(const Artifact&) = delete;
+
+  ~Artifact() {
+    if (current_ == this) current_ = nullptr;
+    const std::string dir = telemetry::json_out_dir();
+    if (dir.empty()) return;
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    doc_.set("wall_time_s", telemetry::Json(wall_s));
+    doc_.set("points", points_);
+    if (values_.size() > 0) doc_.set("values", values_);
+    const std::string path = telemetry::write_json_artifact(dir, name_, doc_);
+    if (!path.empty()) {
+      std::printf("\nartifact: %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "\nwarning: CLOVE_JSON_OUT=%s is not writable, %s.json not saved\n",
+                   dir.c_str(), name_.c_str());
+    }
+  }
+
+  [[nodiscard]] static Artifact* current() { return current_; }
+
+  /// One swept (scheme, load) point. Called from run_point().
+  void record_point(const harness::ExperimentConfig& cfg, double load,
+                    const SweepResult& r) {
+    telemetry::Json p = telemetry::Json::object();
+    p.set("scheme", telemetry::Json(harness::scheme_name(cfg.scheme)));
+    p.set("load", telemetry::Json(load));
+    p.set("asymmetric", telemetry::Json(cfg.asymmetric));
+    p.set("avg_fct_s", telemetry::Json(r.avg_fct_s));
+    p.set("mice_avg_fct_s", telemetry::Json(r.mice_avg_fct_s));
+    p.set("elephant_avg_fct_s", telemetry::Json(r.elephant_avg_fct_s));
+    p.set("p99_fct_s", telemetry::Json(r.p99_fct_s));
+    p.set("jobs", telemetry::Json(static_cast<double>(r.jobs)));
+    p.set("timeouts", telemetry::Json(static_cast<double>(r.timeouts)));
+    p.set("fast_retransmits",
+          telemetry::Json(static_cast<double>(r.fast_retransmits)));
+    p.set("ecn_marks", telemetry::Json(static_cast<double>(r.ecn_marks)));
+    p.set("drops", telemetry::Json(static_cast<double>(r.drops)));
+    if (!r.metrics.samples.empty()) {
+      p.set("metrics", metrics_digest(r.metrics));
+    }
+    points_.push_back(p);
+  }
+
+  /// Free-form named value for benches whose output is not a load sweep
+  /// (incast goodput, micro-bench ratios, parameter ablations).
+  void add_value(const std::string& name, double value,
+                 const telemetry::Labels& labels = {}) {
+    telemetry::Json v = telemetry::Json::object();
+    v.set("name", telemetry::Json(name));
+    for (const auto& [k, val] : labels) v.set(k, telemetry::Json(val));
+    v.set("value", telemetry::Json(value));
+    values_.push_back(v);
+  }
+
+ private:
+  /// Fabric-wide aggregates of the registry snapshot: compact enough to
+  /// embed per point, detailed enough to cross-check the legacy counters.
+  static telemetry::Json metrics_digest(const telemetry::MetricsSnapshot& m) {
+    telemetry::Json d = telemetry::Json::object();
+    auto put_sum = [&](const char* key, const char* metric) {
+      d.set(key, telemetry::Json(m.sum_over(metric)));
+    };
+    put_sum("link.tx_packets", "link.tx_packets");
+    put_sum("link.tx_bytes", "link.tx_bytes");
+    put_sum("link.drops_overflow", "link.drops_overflow");
+    put_sum("link.ecn_marks", "link.ecn_marks");
+    put_sum("hyp.encapped", "hyp.encapped");
+    put_sum("hyp.feedback_received", "hyp.feedback_received");
+    put_sum("hyp.ce_intercepted", "hyp.ce_intercepted");
+    put_sum("hyp.forged_ece", "hyp.forged_ece");
+    put_sum("tcp.timeouts", "tcp.timeouts");
+    put_sum("tcp.fast_retransmits", "tcp.fast_retransmits");
+    put_sum("tcp.ecn_reductions", "tcp.ecn_reductions");
+    if (const auto* rtt = m.find("tcp.rtt_us")) {
+      telemetry::Json h = telemetry::Json::object();
+      h.set("count", telemetry::Json(static_cast<double>(rtt->count)));
+      h.set("p50", telemetry::Json(rtt->p50));
+      h.set("p99", telemetry::Json(rtt->p99));
+      d.set("tcp.rtt_us", h);
+    }
+    return d;
+  }
+
+  inline static Artifact* current_ = nullptr;
+
+  std::string name_;
+  telemetry::Json doc_;
+  telemetry::Json points_;
+  telemetry::Json values_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Run one (scheme, load) point averaged over `seeds` seeds. Records the
+/// point into the current bench Artifact (if one is declared).
 inline SweepResult run_point(harness::ExperimentConfig cfg, double load,
                              const harness::BenchScale& scale) {
   workload::ClientServerConfig wl;
@@ -44,8 +185,15 @@ inline SweepResult run_point(harness::ExperimentConfig cfg, double load,
     out.mice_avg_fct_s += r.mice_avg_fct_s / scale.seeds;
     out.elephant_avg_fct_s += r.elephant_avg_fct_s / scale.seeds;
     out.p99_fct_s += r.p99_fct_s / scale.seeds;
+    out.jobs += r.jobs;
+    out.timeouts += r.timeouts;
+    out.fast_retransmits += r.fast_retransmits;
+    out.ecn_marks += r.ecn_marks;
+    out.drops += r.drops;
     out.fct = r.fct;
+    out.metrics = std::move(r.metrics);
   }
+  if (Artifact* a = Artifact::current()) a->record_point(cfg, load, out);
   return out;
 }
 

@@ -11,6 +11,7 @@ int main() {
   const auto scale = harness::BenchScale::from_env();
   bench::print_header("Fig. 4b - symmetric testbed, avg FCT vs load",
                       "CoNEXT'17 Clove, Figure 4b", scale);
+  bench::Artifact artifact("fig4b_symmetric", "CoNEXT'17 Clove, Figure 4b", scale);
 
   const std::vector<harness::Scheme> schemes = {
       harness::Scheme::kEcmp, harness::Scheme::kEdgeFlowlet,

@@ -12,6 +12,7 @@ int main() {
   const auto scale = harness::BenchScale::from_env();
   bench::print_header("Fig. 4c - asymmetric testbed, avg FCT vs load",
                       "CoNEXT'17 Clove, Figure 4c", scale);
+  bench::Artifact artifact("fig4c_asymmetric", "CoNEXT'17 Clove, Figure 4c", scale);
 
   const std::vector<harness::Scheme> schemes = {
       harness::Scheme::kEcmp, harness::Scheme::kEdgeFlowlet,

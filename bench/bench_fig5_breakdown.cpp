@@ -16,6 +16,7 @@ int main() {
   bench::print_header(
       "Fig. 5 - FCT breakdown (mice avg / elephant avg / p99), asymmetric",
       "CoNEXT'17 Clove, Figures 5a, 5b, 5c", scale);
+  bench::Artifact artifact("fig5_breakdown", "CoNEXT'17 Clove, Figures 5a, 5b, 5c", scale);
 
   const std::vector<harness::Scheme> schemes = {
       harness::Scheme::kEcmp, harness::Scheme::kPresto,

@@ -13,6 +13,7 @@ int main() {
   const auto scale = harness::BenchScale::from_env();
   bench::print_header("Fig. 6 - Clove-ECN parameter sensitivity, asymmetric",
                       "CoNEXT'17 Clove, Figure 6", scale);
+  bench::Artifact artifact("fig6_params", "CoNEXT'17 Clove, Figure 6", scale);
 
   constexpr sim::Time kRtt = 50 * sim::kMicrosecond;
   struct Setting {

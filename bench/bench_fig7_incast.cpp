@@ -17,6 +17,7 @@ int main() {
   const auto scale = harness::BenchScale::from_env();
   bench::print_header("Fig. 7 - incast goodput vs request fan-in",
                       "CoNEXT'17 Clove, Figure 7", scale);
+  bench::Artifact artifact("fig7_incast", "CoNEXT'17 Clove, Figure 7", scale);
 
   const char* env_req = std::getenv("CLOVE_INCAST_REQUESTS");
   const int requests = env_req ? std::atoi(env_req) : 60;
@@ -49,6 +50,9 @@ int main() {
         gbps += harness::run_incast_experiment(cfg, ic) / scale.seeds;
       }
       tput[i].push_back(gbps);
+      artifact.add_value("goodput_gbps", gbps,
+                         {{"scheme", harness::scheme_name(schemes[i])},
+                          {"fanout", std::to_string(fanout)}});
       row.push_back(stats::Table::fmt(gbps, 2));
     }
     table.add_row(row);

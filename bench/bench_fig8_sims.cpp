@@ -14,6 +14,7 @@ int main() {
   bench::print_header("Fig. 8 - simulation comparison incl. CONGA / Clove-INT",
                       "CoNEXT'17 Clove, Figures 8a (symmetric), 8b (asymmetric)",
                       scale);
+  bench::Artifact artifact("fig8_sims", "CoNEXT'17 Clove, Figures 8a (symmetric), 8b (asymmetric)", scale);
 
   const std::vector<harness::Scheme> schemes = {
       harness::Scheme::kEcmp, harness::Scheme::kEdgeFlowlet,

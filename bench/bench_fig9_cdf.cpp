@@ -11,6 +11,7 @@ int main() {
   const auto scale = harness::BenchScale::from_env();
   bench::print_header("Fig. 9 - CDF of mice FCTs @70% load, asymmetric",
                       "CoNEXT'17 Clove, Figure 9", scale);
+  bench::Artifact artifact("fig9_cdf", "CoNEXT'17 Clove, Figure 9", scale);
 
   const std::vector<harness::Scheme> schemes = {harness::Scheme::kEcmp,
                                                 harness::Scheme::kCloveEcn,

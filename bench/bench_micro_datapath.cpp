@@ -12,6 +12,7 @@
 #include "lb/presto.hpp"
 #include "overlay/flowlet.hpp"
 #include "telemetry/dre.hpp"
+#include "telemetry/hub.hpp"
 
 namespace {
 
@@ -110,6 +111,80 @@ void BM_PickPort_Presto(benchmark::State& state) {
   run_policy_bench(state, p, true);
 }
 BENCHMARK(BM_PickPort_Presto);
+
+// --- telemetry overhead ----------------------------------------------------
+// The hub must be free when disabled (one predictable branch on the hot
+// path) and cheap when enabled. Compare the *_Telemetry variants against
+// their plain counterparts above: the disabled delta is the §4 "minimal
+// overhead" claim for the instrumentation itself.
+
+/// RAII: run one benchmark with the hub enabled, restore the default after.
+struct ScopedTelemetry {
+  explicit ScopedTelemetry(bool on) : was_(telemetry::hub().is_enabled()) {
+    telemetry::hub().set_enabled(on);
+  }
+  ~ScopedTelemetry() {
+    telemetry::hub().set_enabled(was_);
+    telemetry::hub().begin_run();
+  }
+  bool was_;
+};
+
+void BM_PickPort_CloveEcn_Telemetry(benchmark::State& state) {
+  ScopedTelemetry t(true);
+  lb::CloveEcnPolicy p;
+  run_policy_bench(state, p, true);
+}
+BENCHMARK(BM_PickPort_CloveEcn_Telemetry);
+
+void BM_TelemetryGuard_Disabled(benchmark::State& state) {
+  // The cost instrumented components pay when telemetry is off: one load +
+  // branch around the (skipped) counter add.
+  ScopedTelemetry t(false);
+  telemetry::Counter* c = telemetry::hub().metrics().counter("bench.guard");
+  for (auto _ : state) {
+    if (telemetry::enabled()) c->add();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_TelemetryGuard_Disabled);
+
+void BM_TelemetryCounterAdd_Enabled(benchmark::State& state) {
+  ScopedTelemetry t(true);
+  telemetry::Counter* c = telemetry::hub().metrics().counter("bench.guard");
+  for (auto _ : state) {
+    if (telemetry::enabled()) c->add();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_TelemetryCounterAdd_Enabled);
+
+void BM_TelemetryHistogramObserve(benchmark::State& state) {
+  ScopedTelemetry t(true);
+  telemetry::Histogram* h =
+      telemetry::hub().metrics().histogram("bench.histogram");
+  double v = 1.0;
+  for (auto _ : state) {
+    v = v < 1e6 ? v * 1.37 : 1.0;
+    h->observe(v);
+  }
+  benchmark::DoNotOptimize(h);
+}
+BENCHMARK(BM_TelemetryHistogramObserve);
+
+void BM_TraceRecord(benchmark::State& state) {
+  ScopedTelemetry t(true);
+  sim::Time now = 0;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    now += 1000;
+    telemetry::trace(telemetry::Category::kFlowlet, now, "bench",
+                     "bench.event", {}, 1.0, id++);
+  }
+  state.counters["dropped_oldest"] = static_cast<double>(
+      telemetry::hub().trace().dropped_oldest());
+}
+BENCHMARK(BM_TraceRecord);
 
 void BM_CloveEcnFeedback(benchmark::State& state) {
   lb::CloveEcnPolicy p;

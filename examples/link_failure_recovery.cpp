@@ -4,13 +4,26 @@
 //   2. the periodic traceroute rounds rediscover the port->path mapping,
 //   3. the Clove-ECN weights shift away from the S2 bottleneck.
 //
+// The telemetry trace ring captures the whole sequence as structured
+// events; the demo reconstructs the client's S2 weight share over time
+// from the `clove.weight` event stream alone, and (with CLOVE_JSON_OUT
+// set) exports the capture as JSONL + chrome://tracing JSON.
+//
 //   ./link_failure_recovery
+//   CLOVE_JSON_OUT=out ./link_failure_recovery   # also dump trace files
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
 
 #include "harness/experiment.hpp"
 #include "lb/clove_ecn.hpp"
 #include "stats/timeseries.hpp"
+#include "telemetry/artifact.hpp"
+#include "telemetry/hub.hpp"
 #include "workload/client_server.hpp"
 
 int main() {
@@ -19,13 +32,52 @@ int main() {
   harness::ExperimentConfig cfg = harness::make_testbed_profile();
   cfg.scheme = harness::Scheme::kCloveEcn;
   cfg.discovery.probe_interval = 250 * sim::kMillisecond;
+  // Keep a marked path on the "congested" list for longer than the per-path
+  // feedback inter-arrival time (~15ms here), so weight removed from the
+  // bottleneck is not spread right back onto it at the next reduction.
+  cfg.clove_congestion_expiry = 20 * sim::kMillisecond;
+
+  // Capture the decisions that tell the recovery story: WRR weight updates,
+  // topology changes and TCP loss recovery. (Feedback/flowlet events run to
+  // millions here and would evict the interesting window from the ring.)
+  telemetry::hub().set_enabled(true);
+  telemetry::hub().trace().set_capacity(1u << 18);
+  telemetry::hub().trace().set_filter(
+      static_cast<unsigned>(telemetry::Category::kWeight) |
+      static_cast<unsigned>(telemetry::Category::kTopology) |
+      static_cast<unsigned>(telemetry::Category::kTcp));
+  telemetry::hub().begin_run();
 
   harness::Testbed tb(cfg);
   tb.start_discovery();
 
+  // Mark ECN only on fabric ports. Marks from shared edge hops (the
+  // leaf->host downlinks) carry no path signal — every path to a host
+  // crosses the same last hop — so for a weight-adaptation demo they are
+  // pure noise; the paper's testbed likewise marks at the switches' fabric
+  // ports (§5). Host NIC egress never marks (see build_leaf_spine).
+  std::set<net::LinkId> fabric_ids;
+  for (auto& per_leaf : tb.fabric().fabric_links) {
+    for (auto& per_spine : per_leaf) {
+      for (net::Link* l : per_spine) {
+        fabric_ids.insert(l->id());
+        fabric_ids.insert(tb.topology().reverse_of(l)->id());
+      }
+    }
+  }
+  for (const auto& l : tb.topology().links()) {
+    if (fabric_ids.count(l->id()) == 0) l->set_ecn_marking(false);
+  }
+
   workload::ClientServerConfig wl;
-  wl.load = 0.6;
-  wl.jobs_per_conn = 120;
+  // 16 clients x 10G x 0.45 = 72G offered. Pre-failure the fabric has 160G
+  // both ways — marks are rare everywhere. After one S2-L2 link fails, a
+  // 50% S2 weight share would put 36G on the surviving 40G link (~90% hot,
+  // marking hard) while each S1 link sits at ~45%: the ECN feedback rate
+  // becomes strongly path-differentiated and the weights must move off S2
+  // toward the 33% capacity share.
+  wl.load = 0.45;
+  wl.jobs_per_conn = 500;
   wl.conns_per_client = 2;
   wl.tcp = cfg.tcp;
   wl.start_time = cfg.traffic_start;
@@ -84,9 +136,9 @@ int main() {
                 sim::format_time(fail_at).c_str());
     tb.fail_s2_l2_link();
   });
-  for (int i = 1; i <= 12; ++i) {
-    tb.simulator().schedule_at(i * sim::milliseconds(100), [&, i] {
-      report(i * 100 <= 300 ? "pre-fail" : "recovery");
+  for (int i = 1; i <= 20; ++i) {
+    tb.simulator().schedule_at(i * sim::milliseconds(200), [&, i] {
+      report(i * 200 <= 300 ? "pre-fail" : "recovery");
     });
   }
 
@@ -106,5 +158,169 @@ int main() {
   std::printf("route recomputations: %d, discovery rounds at %s: %d\n",
               tb.topology().route_epoch(), client->name().c_str(),
               client->discovery().rounds_completed());
+
+  std::printf("\nfabric link scoreboard (downstream spine->L2 direction):\n");
+  for (std::size_t s = 0; s < tb.fabric().spines.size(); ++s) {
+    for (std::size_t k = 0; k < tb.fabric().fabric_links[1][s].size(); ++k) {
+      net::Link* up = tb.fabric().fabric_links[1][s][k];
+      const net::Link* down = tb.topology().reverse_of(up);
+      const auto& st = down->stats();
+      std::printf("  %-12s tx=%9llu pkts  ecn_marks=%8llu  drops=%6llu%s\n",
+                  down->name().c_str(),
+                  static_cast<unsigned long long>(st.tx_packets),
+                  static_cast<unsigned long long>(st.ecn_marks),
+                  static_cast<unsigned long long>(st.drops_overflow),
+                  down->is_down() ? "  [FAILED]" : "");
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Replay the decision trace: reconstruct this client's weight share on
+  // S2 paths purely from the captured `clove.weight` events — the same
+  // story report() told from live policy state, now from telemetry alone.
+  // -------------------------------------------------------------------
+  const telemetry::TraceLog& ring = telemetry::hub().trace();
+  std::printf("\ntrace ring: %llu events captured (%llu recorded, %llu "
+              "overwritten)\n",
+              static_cast<unsigned long long>(ring.size()),
+              static_cast<unsigned long long>(ring.recorded_total()),
+              static_cast<unsigned long long>(ring.dropped_oldest()));
+  for (const auto* ev :
+       ring.events(static_cast<unsigned>(telemetry::Category::kTopology))) {
+    std::printf("  [topology] t=%-10s %-22s %s\n",
+                sim::format_time(ev->t).c_str(), ev->name.c_str(),
+                ev->detail.c_str());
+  }
+
+  // Replay the weight events oldest-first. Every `clove.weight` event is
+  // self-describing: detail "dst D via SPINE ecn_reduced|spread|remap",
+  // value = post-update weight, id = encap source port. "remap" batches
+  // (one per path, emitted when a traceroute round installs a new mapping)
+  // retire the ports of earlier rounds, so the reconstruction survives the
+  // periodic port remapping. Unlike report() above — which averages live
+  // policy state over every discovered destination — the replay counts only
+  // pairs that carried traffic: they alone receive feedback events.
+  struct PortW {
+    double weight;
+    bool via_s2;
+  };
+  using PairKey = std::pair<std::string, net::IpAddr>;
+  std::map<PairKey, std::map<std::uint16_t, PortW>> pairs;
+  std::set<PairKey> active;
+  PairKey remap_key;
+  bool in_remap = false;
+  std::uint64_t weight_events = 0;
+
+  // Running weight sums over active pairs, updated incrementally so the
+  // share can be integrated over time (time-weighted window averages are
+  // far less noisy than point samples of the churning WRR state).
+  double s2_mass = 0.0, total = 0.0;
+  double integral = 0.0;
+  sim::Time win_active = 0;  ///< time with >=1 active pair in this window
+  sim::Time prev_t = 0, win_start = 0;
+  const sim::Time win = 250 * sim::kMillisecond;
+  double pre_sum = 0.0, post_sum = 0.0;
+  sim::Time pre_t = 0, post_t = 0;
+  std::printf("\naggregate S2 weight share of active (client,dst) pairs, "
+              "replayed from clove.weight events (250ms averages):\n");
+  // Attribute the span [from, to) at the current share to the window
+  // integral and to the pre/post-failure running averages. Spans before the
+  // first weight event (no active pairs yet) carry no information and are
+  // skipped entirely.
+  auto add_span = [&](sim::Time from, sim::Time to, double share) {
+    if (total <= 0.0 || to <= from) return;
+    integral += share * static_cast<double>(to - from);
+    win_active += to - from;
+    const sim::Time pre_end = std::min(to, std::max(from, fail_at));
+    pre_sum += share * static_cast<double>(pre_end - from);
+    pre_t += pre_end - from;
+    post_sum += share * static_cast<double>(to - pre_end);
+    post_t += to - pre_end;
+  };
+  auto advance_to = [&](sim::Time t) {
+    const double share = total > 0.0 ? s2_mass / total : 0.0;
+    while (t >= win_start + win) {
+      const sim::Time win_end = win_start + win;
+      add_span(prev_t, win_end, share);
+      if (win_active > 0) {
+        std::printf("  [%-10s .. %-10s)  S2 share %5.1f%%%s\n",
+                    sim::format_time(win_start).c_str(),
+                    sim::format_time(win_end).c_str(),
+                    100.0 * integral / static_cast<double>(win_active),
+                    win_end <= fail_at ? "  pre-failure" : "");
+      }
+      prev_t = win_end;
+      win_start = win_end;
+      integral = 0.0;
+      win_active = 0;
+    }
+    add_span(prev_t, t, share);
+    prev_t = t;
+  };
+  // Mutate one (pair, port) entry, keeping the running sums in sync.
+  auto upsert = [&](const PairKey& key, std::uint16_t port, PortW pw) {
+    PortW& slot = pairs[key][port];
+    if (active.count(key) != 0) {
+      total += pw.weight - slot.weight;
+      if (slot.via_s2) s2_mass -= slot.weight;
+      if (pw.via_s2) s2_mass += pw.weight;
+    }
+    slot = pw;
+  };
+  for (const auto* ev :
+       ring.events(static_cast<unsigned>(telemetry::Category::kWeight))) {
+    net::IpAddr dst = 0, via = 0;
+    char tag[16] = {0};
+    if (std::sscanf(ev->detail.c_str(), "dst %u via %u %15s", &dst, &via,
+                    tag) != 3) {
+      continue;
+    }
+    // Remap events are stamped with the policy's last data-path timestamp,
+    // which can lag interleaved feedback events slightly — keep the replay
+    // clock monotonic.
+    advance_to(std::max(ev->t, prev_t));
+    ++weight_events;
+    const PairKey key{ev->node, dst};
+    const bool remap = std::string_view(tag) == "remap";
+    if (remap && (!in_remap || key != remap_key)) {
+      // New discovery round for this pair: retire the old ports.
+      for (const auto& [port, pw] : pairs[key]) {
+        if (active.count(key) != 0) {
+          total -= pw.weight;
+          if (pw.via_s2) s2_mass -= pw.weight;
+        }
+      }
+      pairs[key].clear();
+      remap_key = key;
+    }
+    in_remap = remap;
+    if (!remap && active.insert(key).second) {
+      // Pair just became active: its carried remap state starts counting.
+      for (const auto& [port, pw] : pairs[key]) {
+        total += pw.weight;
+        if (pw.via_s2) s2_mass += pw.weight;
+      }
+    }
+    upsert(key, static_cast<std::uint16_t>(ev->id), PortW{ev->value, via == s2});
+  }
+  advance_to(win_start + win);  // flush the last partial window
+  std::printf("  (%llu clove.weight events replayed; S2 carries 2 of 4 "
+              "uniform paths pre-failure, 1 of 3 live fabric links after)\n",
+              static_cast<unsigned long long>(weight_events));
+  std::printf("  time-averaged S2 share: %.1f%% before the failure, %.1f%% "
+              "after\n",
+              pre_t > 0 ? 100.0 * pre_sum / static_cast<double>(pre_t) : 0.0,
+              post_t > 0 ? 100.0 * post_sum / static_cast<double>(post_t) : 0.0);
+
+  // Optional machine-readable exports of the full capture.
+  const std::string out_dir = telemetry::json_out_dir();
+  if (!out_dir.empty()) {
+    const std::string jsonl = telemetry::write_text_artifact(
+        out_dir, "link_failure_trace.jsonl", ring.to_jsonl());
+    const std::string chrome = telemetry::write_text_artifact(
+        out_dir, "link_failure_trace.chrome.json", ring.to_chrome_trace());
+    std::printf("\ntrace exports: %s\n               %s\n", jsonl.c_str(),
+                chrome.c_str());
+  }
   return 0;
 }

@@ -1,9 +1,17 @@
 #!/bin/sh
 # Regenerates every paper figure/table; see README.md for scale knobs.
+#
+# Set CLOVE_JSON_OUT=<dir> to also emit one machine-readable JSON artifact
+# per bench (swept points, fabric counters, telemetry digest) into <dir>.
 : "${CLOVE_JOBS:=30}"
 : "${CLOVE_CONNS:=2}"
 : "${CLOVE_SEEDS:=1}"
 export CLOVE_JOBS CLOVE_CONNS CLOVE_SEEDS
+if [ -n "${CLOVE_JSON_OUT:-}" ]; then
+  mkdir -p "$CLOVE_JSON_OUT"
+  export CLOVE_JSON_OUT
+  echo "### JSON artifacts -> $CLOVE_JSON_OUT"
+fi
 for b in build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "### $b"

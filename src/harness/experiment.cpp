@@ -10,6 +10,7 @@
 #include "lb/presto.hpp"
 #include "net/conga_switch.hpp"
 #include "net/letflow_switch.hpp"
+#include "telemetry/hub.hpp"
 
 namespace clove::harness {
 
@@ -227,6 +228,9 @@ std::uint64_t Testbed::total_ecn_marks() const {
 
 ExperimentResult run_fct_experiment(const ExperimentConfig& cfg,
                                     const workload::ClientServerConfig& wl_in) {
+  // Scope the telemetry registry/trace to this run so snapshots are per-run
+  // counters, not process-lifetime accumulations.
+  telemetry::hub().begin_run();
   Testbed tb(cfg);
   tb.start_discovery();
 
@@ -270,11 +274,13 @@ ExperimentResult run_fct_experiment(const ExperimentConfig& cfg,
   r.drops = tb.total_drops();
   r.events = tb.simulator().events_processed();
   r.fct = std::make_shared<stats::FctRecorder>(std::move(ws.fct()));
+  if (telemetry::enabled()) r.metrics = telemetry::hub().metrics().snapshot();
   return r;
 }
 
 double run_incast_experiment(const ExperimentConfig& cfg,
                              const workload::IncastConfig& wl_in) {
+  telemetry::hub().begin_run();
   Testbed tb(cfg);
   tb.start_discovery();
 

@@ -7,6 +7,7 @@
 #include "net/topology.hpp"
 #include "overlay/hypervisor.hpp"
 #include "stats/stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "transport/tcp.hpp"
 #include "workload/client_server.hpp"
 
@@ -76,6 +77,9 @@ struct ExperimentResult {
   std::uint64_t events{0};
   /// Raw recorder for CDFs (Fig. 9) — populated from the last seed run.
   std::shared_ptr<stats::FctRecorder> fct;
+  /// Telemetry registry snapshot taken at run end (empty values when the
+  /// telemetry hub is disabled; see CLOVE_TELEMETRY).
+  telemetry::MetricsSnapshot metrics;
 };
 
 /// A fully-built testbed ready to run: topology, hosts, workload hooks.

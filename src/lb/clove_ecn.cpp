@@ -1,7 +1,10 @@
 #include "lb/clove_ecn.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
+
+#include "telemetry/hub.hpp"
 
 namespace clove::lb {
 
@@ -37,6 +40,20 @@ void CloveEcnPolicy::on_paths_updated(net::IpAddr dst,
   }
   if (total > 0.0) {
     for (auto& p : st.paths) p.weight /= total;
+  }
+
+  // Announce the new port->path mapping so trace consumers can retire ports
+  // from earlier discovery rounds; `via` is the spine the path crosses.
+  // on_paths_updated has no time argument (discovery drives it), so the
+  // events carry the last data-path timestamp this policy has seen.
+  if (telemetry::tracing()) {
+    for (const auto& p : st.paths) {
+      char detail[48];
+      std::snprintf(detail, sizeof(detail), "dst %u via %u remap", dst,
+                    p.info.hops.size() > 1 ? p.info.hops[1].node : 0);
+      telemetry::trace(telemetry::Category::kWeight, last_now_, owner(),
+                       "clove.weight", detail, p.weight, p.info.port);
+    }
   }
 }
 
@@ -92,6 +109,7 @@ sim::Time CloveEcnPolicy::gap_for(const DstState* st) const {
 
 std::uint16_t CloveEcnPolicy::pick_port(const net::Packet& inner,
                                         net::IpAddr dst, sim::Time now) {
+  last_now_ = now;
   auto it0 = dsts_.find(dst);
   auto t = flowlets_.touch(inner.inner, now,
                            gap_for(it0 == dsts_.end() ? nullptr : &it0->second));
@@ -116,11 +134,17 @@ std::uint16_t CloveEcnPolicy::pick_port(const net::Packet& inner,
   const std::size_t idx = wrr_pick(st);
   const std::uint16_t port = st.paths[idx].info.port;
   flowlets_.set_port(inner.inner, port);
+  if (t.new_flowlet && telemetry::tracing()) {
+    telemetry::trace(telemetry::Category::kFlowlet, now, owner(),
+                     "clove.flowlet_new", "dst " + std::to_string(dst),
+                     st.paths[idx].weight, port);
+  }
   return port;
 }
 
 void CloveEcnPolicy::on_feedback(net::IpAddr dst, const net::CloveFeedback& fb,
                                  sim::Time now) {
+  last_now_ = now;
   if (!fb.present) return;
   auto it = dsts_.find(dst);
   if (it == dsts_.end()) return;
@@ -161,6 +185,19 @@ void CloveEcnPolicy::on_feedback(net::IpAddr dst, const net::CloveFeedback& fb,
   congested->weight -= delta;
   const double share = delta / static_cast<double>(uncongested.size());
   for (PathState* p : uncongested) p->weight += share;
+
+  // Emit the full post-update weight vector (one event per path) so a trace
+  // capture shows the WRR mass migrating between paths over time.
+  if (telemetry::tracing()) {
+    for (const auto& p : st.paths) {
+      char detail[64];
+      std::snprintf(detail, sizeof(detail), "dst %u via %u %s", dst,
+                    p.info.hops.size() > 1 ? p.info.hops[1].node : 0,
+                    &p == congested ? "ecn_reduced" : "spread");
+      telemetry::trace(telemetry::Category::kWeight, now, owner(),
+                       "clove.weight", detail, p.weight, p.info.port);
+    }
+  }
 }
 
 bool CloveEcnPolicy::all_paths_congested(net::IpAddr dst, sim::Time now) const {

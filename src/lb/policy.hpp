@@ -56,6 +56,14 @@ class Policy {
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The owning hypervisor tags the policy with its host name so policy
+  /// trace events (weight updates, flowlet creation) identify their emitter.
+  void set_owner(std::string owner) { owner_ = std::move(owner); }
+  [[nodiscard]] const std::string& owner() const { return owner_; }
+
+ private:
+  std::string owner_;
 };
 
 }  // namespace clove::lb

@@ -23,11 +23,25 @@ FatTree build_fat_tree(
   LinkConfig access = fabric;
   access.rate_bytes_per_sec = sim::gbps_to_bytes_per_sec(cfg.host_gbps);
 
+  // Builds names like "C0.1" / "h2.0.3". Appending piecewise (instead of an
+  // operator+ chain) sidesteps a GCC 12 -O3 -Wrestrict false positive
+  // (GCC PR105651) that -Werror builds would otherwise trip over.
+  auto label = [](const char* prefix, int a, int b, int c = -1) {
+    std::string s(prefix);
+    s += std::to_string(a);
+    s += '.';
+    s += std::to_string(b);
+    if (c >= 0) {
+      s += '.';
+      s += std::to_string(c);
+    }
+    return s;
+  };
+
   // Core switches: (k/2)^2 of them, indexed (i, j) with i, j in [0, k/2).
   for (int i = 0; i < half; ++i) {
     for (int j = 0; j < half; ++j) {
-      net.core.push_back(topo.add_switch(
-          "C" + std::to_string(i) + "." + std::to_string(j)));
+      net.core.push_back(topo.add_switch(label("C", i, j)));
     }
   }
 
@@ -39,10 +53,8 @@ FatTree build_fat_tree(
     auto& edges = net.edge_by_pod[static_cast<std::size_t>(pod)];
     auto& aggs = net.agg_by_pod[static_cast<std::size_t>(pod)];
     for (int i = 0; i < half; ++i) {
-      edges.push_back(
-          topo.add_switch("E" + std::to_string(pod) + "." + std::to_string(i)));
-      aggs.push_back(
-          topo.add_switch("A" + std::to_string(pod) + "." + std::to_string(i)));
+      edges.push_back(topo.add_switch(label("E", pod, i)));
+      aggs.push_back(topo.add_switch(label("A", pod, i)));
     }
     // Full bipartite edge <-> agg inside the pod.
     for (Switch* e : edges) {
@@ -58,9 +70,7 @@ FatTree build_fat_tree(
     // Hosts under each edge switch.
     for (int i = 0; i < half; ++i) {
       for (int h = 0; h < half; ++h) {
-        const std::string name = "h" + std::to_string(pod) + "." +
-                                 std::to_string(i) + "." + std::to_string(h);
-        Node* host = make_host(topo, name, pod);
+        Node* host = make_host(topo, label("h", pod, i, h), pod);
         auto [host_up, edge_down] =
             topo.connect(host, edges[static_cast<std::size_t>(i)], access);
         (void)edge_down;

@@ -3,6 +3,7 @@
 #include "net/switch.hpp"
 #include "net/switch_flowlet.hpp"
 #include "sim/random.hpp"
+#include "telemetry/hub.hpp"
 
 namespace clove::net {
 
@@ -35,6 +36,11 @@ class LetFlowSwitch : public Switch {
     }
     const int chosen = ports[rng_.uniform_int(ports.size())];
     flowlets_.set_value(key, static_cast<std::uint32_t>(chosen));
+    if (telemetry::tracing()) {
+      telemetry::trace(telemetry::Category::kPath, sim_.now(), name(),
+                       "letflow.flowlet_path", {}, static_cast<double>(chosen),
+                       key);
+    }
     return chosen;
   }
 

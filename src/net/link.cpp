@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "net/node.hpp"
-#include "sim/logging.hpp"
+#include "telemetry/hub.hpp"
 
 namespace clove::net {
 
@@ -16,34 +16,56 @@ Link::Link(sim::Simulator& sim, LinkId id, std::string name, Node* dst,
       dst_in_port_(dst_in_port),
       cfg_(cfg) {
   dre_.configure(cfg_.dre_alpha, cfg_.dre_interval, cfg_.rate_bytes_per_sec);
+  auto& reg = telemetry::hub().metrics();
+  const telemetry::Labels labels{{"link", name_}};
+  cells_.tx_packets = reg.counter("link.tx_packets", labels);
+  cells_.tx_bytes = reg.counter("link.tx_bytes", labels);
+  cells_.drops_overflow = reg.counter("link.drops_overflow", labels);
+  cells_.drops_down = reg.counter("link.drops_down", labels);
+  cells_.ecn_marks = reg.counter("link.ecn_marks", labels);
+  cells_.queue_high_watermark =
+      reg.gauge("link.queue_high_watermark_bytes", labels);
 }
 
 void Link::enqueue(PacketPtr pkt) {
   if (down_) {
     ++stats_.drops_down;
+    if (telemetry::enabled()) cells_.drops_down->add();
     return;
   }
   const std::int64_t wire = pkt->wire_size();
   if (queue_bytes_ + wire > cfg_.queue_capacity_bytes) {
     ++stats_.drops_overflow;
-    CLOVE_TRACE(sim_.now(), name_.c_str(), "drop overflow %s",
-                pkt->to_string().c_str());
+    if (telemetry::enabled()) cells_.drops_overflow->add();
+    if (telemetry::tracing()) {
+      telemetry::trace(telemetry::Category::kQueue, sim_.now(), name_,
+                       "link.drop_overflow", pkt->to_string(),
+                       static_cast<double>(queue_bytes_));
+    }
     return;
   }
   // DCTCP-style marking: mark the arriving packet when the instantaneous
   // queue occupancy is at or above the threshold K (paper §3.2: 20 pkts).
   if (cfg_.ecn_marking && queue_bytes_ >= cfg_.ecn_threshold_bytes) {
+    bool fresh_mark = false;
     if (pkt->encap.present && pkt->encap.ecn.ect) {
-      if (!pkt->encap.ecn.ce) ++stats_.ecn_marks;
+      fresh_mark = !pkt->encap.ecn.ce;
       pkt->encap.ecn.ce = true;
     } else if (!pkt->encap.present && pkt->tcp.ect) {
-      if (!pkt->tcp.ce) ++stats_.ecn_marks;
+      fresh_mark = !pkt->tcp.ce;
       pkt->tcp.ce = true;
+    }
+    if (fresh_mark) {
+      ++stats_.ecn_marks;
+      if (telemetry::enabled()) cells_.ecn_marks->add();
     }
   }
   queue_.push_back(std::move(pkt));
   queue_bytes_ += wire;
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queue_bytes_);
+  if (telemetry::enabled()) {
+    cells_.queue_high_watermark->update_max(static_cast<double>(queue_bytes_));
+  }
   if (!busy_) start_tx();
 }
 
@@ -68,6 +90,10 @@ void Link::on_tx_done() {
   dre_.on_transmit(sim_.now(), wire);
   ++stats_.tx_packets;
   stats_.tx_bytes += static_cast<std::uint64_t>(wire);
+  if (telemetry::enabled()) {
+    cells_.tx_packets->add();
+    cells_.tx_bytes->add(static_cast<std::uint64_t>(wire));
+  }
 
   if (cfg_.int_telemetry && pkt->int_stack.enabled) {
     pkt->int_stack.push(static_cast<float>(dre_.utilization(sim_.now())));
@@ -94,6 +120,7 @@ void Link::deliver_front() {
   propagating_.pop_front();
   if (down_) {
     ++stats_.drops_down;
+    if (telemetry::enabled()) cells_.drops_down->add();
     return;
   }
   dst_->receive(std::move(pkt), dst_in_port_);
@@ -101,7 +128,15 @@ void Link::deliver_front() {
 
 void Link::down() {
   down_ = true;
-  stats_.drops_down += queue_.size() + propagating_.size() + (in_flight_ ? 1 : 0);
+  const std::uint64_t flushed =
+      queue_.size() + propagating_.size() + (in_flight_ ? 1 : 0);
+  stats_.drops_down += flushed;
+  if (telemetry::enabled()) cells_.drops_down->add(flushed);
+  if (telemetry::tracing()) {
+    telemetry::trace(telemetry::Category::kTopology, sim_.now(), name_,
+                     "link.down", "flushed in-flight packets",
+                     static_cast<double>(flushed));
+  }
   queue_.clear();
   queue_bytes_ = 0;
   propagating_.clear();
@@ -112,6 +147,10 @@ void Link::down() {
 void Link::up() {
   down_ = false;
   dre_.reset();
+  if (telemetry::tracing()) {
+    telemetry::trace(telemetry::Category::kTopology, sim_.now(), name_,
+                     "link.up");
+  }
 }
 
 }  // namespace clove::net

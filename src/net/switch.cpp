@@ -1,14 +1,24 @@
 #include "net/switch.hpp"
 
-#include "sim/logging.hpp"
+#include "telemetry/hub.hpp"
 
 namespace clove::net {
+
+Switch::Switch(sim::Simulator& sim, NodeId id, std::string name)
+    : Node(id, std::move(name)), sim_(sim) {
+  auto& reg = telemetry::hub().metrics();
+  const telemetry::Labels labels{{"switch", this->name()}};
+  cells_.forwarded = reg.counter("switch.forwarded", labels);
+  cells_.no_route_drops = reg.counter("switch.no_route_drops", labels);
+  cells_.ttl_drops = reg.counter("switch.ttl_drops", labels);
+}
 
 void Switch::receive(PacketPtr pkt, int in_port) {
   // TTL processing, as a router would: decrement, and on expiry either
   // answer a traceroute probe or silently drop.
   if (pkt->ttl == 0) {
     ++stats_.ttl_drops;
+    if (telemetry::enabled()) cells_.ttl_drops->add();
     return;
   }
   pkt->ttl--;
@@ -17,6 +27,7 @@ void Switch::receive(PacketPtr pkt, int in_port) {
       send_probe_reply(*pkt, in_port);
     } else {
       ++stats_.ttl_drops;
+      if (telemetry::enabled()) cells_.ttl_drops->add();
     }
     return;
   }
@@ -28,12 +39,18 @@ void Switch::forward(PacketPtr pkt, int in_port) {
   const std::vector<int>* ports = route(dst);
   if (ports == nullptr || ports->empty()) {
     ++stats_.no_route_drops;
-    CLOVE_TRACE(sim_.now(), name().c_str(), "no route to %u", dst);
+    if (telemetry::enabled()) cells_.no_route_drops->add();
+    if (telemetry::tracing()) {
+      telemetry::trace(telemetry::Category::kQueue, sim_.now(), name(),
+                       "switch.no_route", "dst " + std::to_string(dst), 0.0,
+                       dst);
+    }
     return;
   }
   const int egress = select_port(*pkt, *ports, in_port);
   on_forward(*pkt, egress, in_port);
   ++stats_.forwarded;
+  if (telemetry::enabled()) cells_.forwarded->add();
   port(egress)->enqueue(std::move(pkt));
 }
 

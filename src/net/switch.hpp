@@ -7,6 +7,7 @@
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace clove::net {
 
@@ -29,8 +30,7 @@ struct SwitchStats {
 /// forces Clove to re-run path discovery after topology changes (§3.1).
 class Switch : public Node {
  public:
-  Switch(sim::Simulator& sim, NodeId id, std::string name)
-      : Node(id, std::move(name)), sim_(sim) {}
+  Switch(sim::Simulator& sim, NodeId id, std::string name);
 
   void receive(PacketPtr pkt, int in_port) override;
 
@@ -68,6 +68,13 @@ class Switch : public Node {
 
   sim::Simulator& sim_;
   SwitchStats stats_;
+
+  struct Cells {
+    telemetry::Counter* forwarded;
+    telemetry::Counter* no_route_drops;
+    telemetry::Counter* ttl_drops;
+  };
+  Cells cells_;
 
  private:
   std::unordered_map<IpAddr, std::vector<int>> routes_;

@@ -4,6 +4,8 @@
 #include <deque>
 #include <limits>
 
+#include "telemetry/hub.hpp"
+
 namespace clove::net {
 
 Switch* Topology::add_switch(const std::string& name) {
@@ -61,6 +63,11 @@ void Topology::restore_connection(Link* a_to_b) {
 
 void Topology::compute_routes() {
   ++route_epoch_;
+  if (telemetry::tracing()) {
+    telemetry::trace(telemetry::Category::kTopology, sim_.now(), "topology",
+                     "topology.route_recompute", {},
+                     static_cast<double>(route_epoch_));
+  }
   // Adjacency: for each node, its live egress links.
   const std::size_t n = nodes_.size();
   std::vector<std::vector<Link*>> egress(n);
@@ -134,11 +141,23 @@ LeafSpine build_leaf_spine(
     return topo.add_switch(name);
   };
 
+  // Appending piecewise (instead of operator+ chains) sidesteps a GCC 12
+  // -O3 -Wrestrict false positive (GCC PR105651) under -Werror.
+  auto label = [](const char* prefix, int a, int b = -1) {
+    std::string s(prefix);
+    s += std::to_string(a);
+    if (b >= 0) {
+      s += '-';
+      s += std::to_string(b);
+    }
+    return s;
+  };
+
   for (int i = 0; i < cfg.n_leaves; ++i) {
-    net.leaves.push_back(new_switch("L" + std::to_string(i + 1), i));
+    net.leaves.push_back(new_switch(label("L", i + 1), i));
   }
   for (int j = 0; j < cfg.n_spines; ++j) {
-    net.spines.push_back(new_switch("S" + std::to_string(j + 1), -1));
+    net.spines.push_back(new_switch(label("S", j + 1), -1));
   }
 
   LinkConfig fabric;
@@ -178,9 +197,7 @@ LeafSpine build_leaf_spine(
   net.hosts_by_leaf.resize(static_cast<std::size_t>(cfg.n_leaves));
   for (int i = 0; i < cfg.n_leaves; ++i) {
     for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
-      const std::string name =
-          "h" + std::to_string(i + 1) + "-" + std::to_string(h + 1);
-      Node* host = make_host(topo, name, i);
+      Node* host = make_host(topo, label("h", i + 1, h + 1), i);
       auto [host_up, leaf_down] =
           topo.connect(host, net.leaves[static_cast<std::size_t>(i)], access);
       (void)leaf_down;

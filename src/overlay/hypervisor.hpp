@@ -10,6 +10,7 @@
 #include "overlay/reorder_buffer.hpp"
 #include "overlay/traceroute.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 #include "transport/tcp.hpp"
 
 namespace clove::overlay {
@@ -118,6 +119,16 @@ class Hypervisor : public net::Node, public transport::VmPort {
   std::unordered_map<net::IpAddr, PeerFeedback> pending_fb_;
 
   HypervisorStats stats_;
+
+  struct Cells {
+    telemetry::Counter* encapped;
+    telemetry::Counter* decapped;
+    telemetry::Counter* ce_intercepted;
+    telemetry::Counter* feedback_attached;
+    telemetry::Counter* feedback_received;
+    telemetry::Counter* forged_ece;
+  };
+  Cells cells_;
 };
 
 }  // namespace clove::overlay

@@ -1,11 +1,24 @@
 #include "sim/logging.hpp"
 
 #include <cstdarg>
+#include <cstdlib>
 
 namespace clove::sim {
 
+LogLevel parse_log_level(const std::string& text, LogLevel fallback) {
+  if (text == "none" || text == "0") return LogLevel::kNone;
+  if (text == "error" || text == "1") return LogLevel::kError;
+  if (text == "warn" || text == "warning" || text == "2") return LogLevel::kWarn;
+  if (text == "info" || text == "3") return LogLevel::kInfo;
+  if (text == "trace" || text == "debug" || text == "4") return LogLevel::kTrace;
+  return fallback;
+}
+
 LogLevel& log_level() {
-  static LogLevel level = LogLevel::kWarn;
+  static LogLevel level = [] {
+    const char* v = std::getenv("CLOVE_LOG_LEVEL");
+    return v != nullptr ? parse_log_level(v) : LogLevel::kWarn;
+  }();
   return level;
 }
 

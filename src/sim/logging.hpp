@@ -9,10 +9,16 @@ namespace clove::sim {
 
 enum class LogLevel : int { kNone = 0, kError = 1, kWarn = 2, kInfo = 3, kTrace = 4 };
 
-/// Process-wide log verbosity for diagnostics. Default: warnings and errors.
+/// Process-wide log verbosity for diagnostics. Default: warnings and errors,
+/// overridable at startup via the CLOVE_LOG_LEVEL environment variable
+/// ("none" | "error" | "warn" | "info" | "trace", or the numeric 0-4).
 /// This is deliberately a plain knob, not part of Simulator, because logging
 /// is a debugging aid rather than simulated state.
 LogLevel& log_level();
+
+/// Parse a CLOVE_LOG_LEVEL value; returns `fallback` for unrecognized input.
+[[nodiscard]] LogLevel parse_log_level(const std::string& text,
+                                       LogLevel fallback = LogLevel::kWarn);
 
 namespace detail {
 void vlog(LogLevel lvl, Time now, const char* tag, const char* fmt, ...)

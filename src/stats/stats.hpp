@@ -53,7 +53,9 @@ class Samples {
     return s / static_cast<double>(values_.size());
   }
 
-  /// p in [0, 100]; nearest-rank percentile.
+  /// p in [0, 100]; linearly interpolated between the two nearest order
+  /// statistics (NumPy's default "linear" method), so e.g. the median of
+  /// {10, 20, 30, 40} is 25, not an observed sample.
   [[nodiscard]] double percentile(double p) {
     if (values_.empty()) return 0.0;
     sort_once();

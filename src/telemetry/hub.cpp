@@ -1,0 +1,54 @@
+#include "telemetry/hub.hpp"
+
+#include <cstdlib>
+
+namespace clove::telemetry {
+
+namespace detail {
+bool g_enabled = false;
+}  // namespace detail
+
+Hub::Hub() {
+  if (const char* v = std::getenv("CLOVE_TELEMETRY")) {
+    detail::g_enabled = v[0] != '\0' && v[0] != '0';
+  }
+  if (const char* v = std::getenv("CLOVE_TRACE_CAPACITY")) {
+    const long n = std::atol(v);
+    if (n > 0) trace_.set_capacity(static_cast<std::size_t>(n));
+  }
+  if (const char* v = std::getenv("CLOVE_TRACE_CATEGORIES")) {
+    trace_.set_filter(parse_category_mask(v));
+  }
+}
+
+void Hub::begin_run() {
+  metrics_.reset_values();
+  trace_.clear();
+}
+
+Hub& hub() {
+  static Hub instance;
+  return instance;
+}
+
+void trace(Category cat, sim::Time now, std::string node, std::string name,
+           std::string detail, double value, std::uint64_t id) {
+  if (static_cast<int>(sim::log_level()) >=
+      static_cast<int>(sim::LogLevel::kTrace)) {
+    CLOVE_LOG(sim::LogLevel::kTrace, now, node.c_str(), "%s %s value=%g id=%llu",
+              name.c_str(), detail.c_str(), value,
+              static_cast<unsigned long long>(id));
+  }
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.t = now;
+  ev.cat = cat;
+  ev.node = std::move(node);
+  ev.name = std::move(name);
+  ev.detail = std::move(detail);
+  ev.value = value;
+  ev.id = id;
+  hub().trace().record(std::move(ev));
+}
+
+}  // namespace clove::telemetry

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+
+#include "sim/logging.hpp"
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace clove::telemetry {
+
+namespace detail {
+/// Single process-wide on/off flag, read inline on every hot-path guard.
+/// Like sim::log_level(), telemetry is a debugging/observability aid rather
+/// than simulated state, so a plain process knob (not Simulator state) keeps
+/// the instrumentation plumbing-free; the simulation is single-threaded.
+extern bool g_enabled;
+}  // namespace detail
+
+/// The zero-cost-when-disabled guard: one global bool load. Every hot-path
+/// recording site checks this before touching a cell or building an event.
+[[nodiscard]] inline bool enabled() { return detail::g_enabled; }
+
+/// Process-wide observability hub: the metrics registry plus the trace ring.
+/// Construction honors environment knobs:
+///   CLOVE_TELEMETRY=1         enable collection from process start
+///   CLOVE_TRACE_CAPACITY=N    trace ring size (default 65536 events)
+///   CLOVE_TRACE_CATEGORIES=a,b  category filter (e.g. "weight,topology")
+class Hub {
+ public:
+  Hub();
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] TraceLog& trace() { return trace_; }
+
+  void set_enabled(bool on) { detail::g_enabled = on; }
+  [[nodiscard]] bool is_enabled() const { return detail::g_enabled; }
+
+  /// Start-of-run housekeeping: zero metric values and clear the trace ring
+  /// so each experiment's snapshot reflects that experiment only. Resolved
+  /// cell pointers stay valid.
+  void begin_run();
+
+ private:
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+};
+
+[[nodiscard]] Hub& hub();
+
+/// Record a structured trace event (and mirror it to stderr when the log
+/// level is at kTrace, so CLOVE_LOG_LEVEL=trace shows the same stream the
+/// ring captures). Call sites guard with `if (telemetry::tracing())` so the
+/// disabled path costs two global loads and no argument evaluation.
+void trace(Category cat, sim::Time now, std::string node, std::string name,
+           std::string detail = {}, double value = 0.0, std::uint64_t id = 0);
+
+/// True when trace events should be built at all: either the ring is
+/// collecting or the stderr log level wants them.
+[[nodiscard]] inline bool tracing() {
+  return enabled() ||
+         static_cast<int>(sim::log_level()) >=
+             static_cast<int>(sim::LogLevel::kTrace);
+}
+
+}  // namespace clove::telemetry

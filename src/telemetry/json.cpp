@@ -1,0 +1,289 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace clove::telemetry {
+
+namespace {
+const Json& null_json() {
+  static const Json j;
+  return j;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  out += buf;
+}
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos{0};
+  std::string error;
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return at_end() ? '\0' : text[pos]; }
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+  bool expect(char c) {
+    if (peek() != c) return fail(std::string("expected '") + c + "'");
+    ++pos;
+    return true;
+  }
+  bool literal(const char* word, Json value, Json& out) {
+    for (const char* p = word; *p; ++p, ++pos) {
+      if (at_end() || text[pos] != *p) return fail("bad literal");
+    }
+    out = std::move(value);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    while (!at_end() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) return fail("dangling escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("short \\u escape");
+          const unsigned code =
+              static_cast<unsigned>(std::strtoul(text.substr(pos, 4).c_str(),
+                                                 nullptr, 16));
+          pos += 4;
+          // ASCII passes through; anything else degrades to '?' (the
+          // emitter never produces non-ASCII escapes).
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return expect('"');
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > 128) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    const char c = peek();
+    if (c == 'n') return literal("null", Json(), out);
+    if (c == 't') return literal("true", Json(true), out);
+    if (c == 'f') return literal("false", Json(false), out);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Json(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      out = Json::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        Json item;
+        if (!parse_value(item, depth + 1)) return false;
+        out.push_back(std::move(item));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        return expect(']');
+      }
+    }
+    if (c == '{') {
+      ++pos;
+      out = Json::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!expect(':')) return false;
+        Json value;
+        if (!parse_value(value, depth + 1)) return false;
+        out.set(key, std::move(value));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        return expect('}');
+      }
+    }
+    // Number.
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return fail("unexpected character");
+    pos += static_cast<std::size_t>(end - start);
+    out = Json(v);
+    return true;
+  }
+};
+
+}  // namespace
+
+const Json& Json::operator[](const std::string& key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  return null_json();
+}
+
+const Json& Json::operator[](std::size_t i) const {
+  return i < arr_.size() ? arr_[i] : null_json();
+}
+
+bool Json::contains(const std::string& key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: append_number(out, num_); break;
+    case Kind::kString: append_escaped(out, str_); break;
+    case Kind::kArray:
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      out += ']';
+      break;
+    case Kind::kObject:
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        append_escaped(out, obj_[i].first);
+        out += pretty ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      out += '}';
+      break;
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(const std::string& text, std::string* error) {
+  Parser p{text, 0, {}};
+  Json out;
+  if (!p.parse_value(out, 0)) {
+    if (error != nullptr) *error = p.error;
+    return Json();
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(p.pos);
+    }
+    return Json();
+  }
+  if (error != nullptr) error->clear();
+  return out;
+}
+
+}  // namespace clove::telemetry

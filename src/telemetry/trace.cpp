@@ -1,0 +1,142 @@
+#include "telemetry/trace.hpp"
+
+#include <unordered_map>
+
+namespace clove::telemetry {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kQueue: return "queue";
+    case Category::kPath: return "path";
+    case Category::kFlowlet: return "flowlet";
+    case Category::kFeedback: return "feedback";
+    case Category::kWeight: return "weight";
+    case Category::kTopology: return "topology";
+    case Category::kTcp: return "tcp";
+  }
+  return "?";
+}
+
+unsigned parse_category_mask(const std::string& list) {
+  if (list.empty()) return kAllCategories;
+  static constexpr Category kAll[] = {
+      Category::kQueue,    Category::kPath,   Category::kFlowlet,
+      Category::kFeedback, Category::kWeight, Category::kTopology,
+      Category::kTcp,
+  };
+  unsigned mask = 0;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t end = list.find(',', start);
+    if (end == std::string::npos) end = list.size();
+    const std::string word = list.substr(start, end - start);
+    for (Category c : kAll) {
+      if (word == category_name(c)) mask |= static_cast<unsigned>(c);
+    }
+    if (word == "all") mask |= kAllCategories;
+    start = end + 1;
+  }
+  return mask == 0 ? kAllCategories : mask;
+}
+
+void TraceLog::set_capacity(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);  // grow lazily beyond
+  next_ = 0;
+  size_ = 0;
+}
+
+void TraceLog::record(TraceEvent ev) {
+  if (!accepts(ev.cat)) return;
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    next_ = ring_.size() % capacity_;
+    size_ = ring_.size();
+    return;
+  }
+  ring_[next_] = std::move(ev);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceLog::clear() {
+  ring_.clear();
+  next_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<const TraceEvent*> TraceLog::events(unsigned mask) const {
+  std::vector<const TraceEvent*> out;
+  out.reserve(size_);
+  // Oldest-first: when the ring has wrapped, the oldest entry is at next_.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& ev = ring_[(start + i) % ring_.size()];
+    if ((mask & static_cast<unsigned>(ev.cat)) != 0) out.push_back(&ev);
+  }
+  return out;
+}
+
+std::string TraceLog::to_jsonl(unsigned mask) const {
+  std::string out;
+  for (const TraceEvent* ev : events(mask)) {
+    Json line = Json::object();
+    line.set("t_ns", static_cast<double>(ev->t));
+    line.set("cat", category_name(ev->cat));
+    line.set("node", ev->node);
+    line.set("name", ev->name);
+    if (!ev->detail.empty()) line.set("detail", ev->detail);
+    line.set("value", ev->value);
+    line.set("id", static_cast<double>(ev->id));
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceLog::to_chrome_trace(unsigned mask) const {
+  // One "thread" per emitting node so chrome://tracing shows per-entity
+  // tracks; timestamps are simulated time in microseconds.
+  Json root = Json::object();
+  Json events_json = Json::array();
+  std::unordered_map<std::string, int> tids;
+
+  for (const TraceEvent* ev : events(mask)) {
+    auto [it, inserted] =
+        tids.emplace(ev->node, static_cast<int>(tids.size()) + 1);
+    if (inserted) {
+      Json meta = Json::object();
+      meta.set("ph", "M");
+      meta.set("name", "thread_name");
+      meta.set("pid", 1);
+      meta.set("tid", it->second);
+      Json args = Json::object();
+      args.set("name", ev->node);
+      meta.set("args", std::move(args));
+      events_json.push_back(std::move(meta));
+    }
+    Json e = Json::object();
+    e.set("ph", "i");
+    e.set("s", "t");
+    e.set("name", ev->name);
+    e.set("cat", category_name(ev->cat));
+    e.set("ts", sim::to_microseconds(ev->t));
+    e.set("pid", 1);
+    e.set("tid", it->second);
+    Json args = Json::object();
+    if (!ev->detail.empty()) args.set("detail", ev->detail);
+    args.set("value", ev->value);
+    args.set("id", static_cast<double>(ev->id));
+    e.set("args", std::move(args));
+    events_json.push_back(std::move(e));
+  }
+  root.set("displayTimeUnit", "ms");
+  root.set("traceEvents", std::move(events_json));
+  return root.dump();
+}
+
+}  // namespace clove::telemetry

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "telemetry/json.hpp"
+
+namespace clove::telemetry {
+
+/// Structured-event categories, usable as a bitmask filter.
+enum class Category : unsigned {
+  kQueue = 1u << 0,     ///< egress-queue events: drops, overflow
+  kPath = 1u << 1,      ///< in-fabric path selection (CONGA / LetFlow)
+  kFlowlet = 1u << 2,   ///< edge flowlet creation / port assignment
+  kFeedback = 1u << 3,  ///< ECN interception and feedback relay
+  kWeight = 1u << 4,    ///< Clove WRR weight updates
+  kTopology = 1u << 5,  ///< link failed / restored, route recomputes
+  kTcp = 1u << 6,       ///< guest TCP timeouts / fast retransmits
+};
+
+inline constexpr unsigned kAllCategories = 0x7f;
+
+[[nodiscard]] const char* category_name(Category c);
+/// Parse a comma-separated category list ("weight,tcp") into a mask;
+/// unknown names are ignored, empty input yields kAllCategories.
+[[nodiscard]] unsigned parse_category_mask(const std::string& list);
+
+/// One simulation event. `node` identifies the emitting entity (switch /
+/// link / host name, or "dst:<ip>" for per-destination policy state);
+/// `value` and `id` carry the event's primary numeric payload (meaning
+/// documented per event name in DESIGN.md §Observability), and `detail` is a
+/// short human-readable elaboration.
+struct TraceEvent {
+  sim::Time t{0};
+  Category cat{Category::kQueue};
+  std::string node;
+  std::string name;
+  std::string detail;
+  double value{0.0};
+  std::uint64_t id{0};
+};
+
+/// Bounded ring buffer of TraceEvents keyed to simulated time. When full,
+/// the oldest events are overwritten (dropped_oldest() counts them), so a
+/// capture always holds the most recent window — what you want when a run
+/// ends in the interesting state (e.g. after a link failure).
+class TraceLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  TraceLog() { set_capacity(kDefaultCapacity); }
+
+  /// Resize the ring; existing events are dropped (capture restarts).
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Record only events whose category is in `mask`.
+  void set_filter(unsigned mask) { mask_ = mask; }
+  [[nodiscard]] unsigned filter() const { return mask_; }
+  [[nodiscard]] bool accepts(Category c) const {
+    return (mask_ & static_cast<unsigned>(c)) != 0;
+  }
+
+  void record(TraceEvent ev);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint64_t recorded_total() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dropped_oldest() const { return dropped_; }
+
+  /// Events in time order (oldest first), optionally category-filtered.
+  [[nodiscard]] std::vector<const TraceEvent*> events(
+      unsigned mask = kAllCategories) const;
+
+  /// One JSON object per line: {"t_ns":..,"cat":..,"node":..,"name":..,
+  /// "detail":..,"value":..,"id":..}.
+  [[nodiscard]] std::string to_jsonl(unsigned mask = kAllCategories) const;
+
+  /// chrome://tracing / Perfetto "trace event" JSON: instant events on one
+  /// track per node, timestamped in simulated microseconds.
+  [[nodiscard]] std::string to_chrome_trace(
+      unsigned mask = kAllCategories) const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_{0};
+  std::size_t next_{0};  ///< slot the next event lands in
+  std::size_t size_{0};
+  unsigned mask_{kAllCategories};
+  std::uint64_t recorded_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace clove::telemetry

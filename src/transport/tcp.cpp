@@ -3,11 +3,31 @@
 #include <algorithm>
 
 #include "sim/logging.hpp"
+#include "telemetry/hub.hpp"
 
 namespace clove::transport {
 
 namespace {
 constexpr sim::Time kMaxRto = 60 * sim::kSecond;
+
+/// Process-wide transport counters. TCP endpoints are too numerous for
+/// per-sender label sets, so all senders share one set of cells; per-flow
+/// attribution comes from trace events instead.
+struct TcpCells {
+  telemetry::Counter* timeouts;
+  telemetry::Counter* fast_retransmits;
+  telemetry::Counter* ecn_reductions;
+  telemetry::Histogram* rtt_us;
+};
+
+TcpCells& tcp_cells() {
+  static TcpCells cells = [] {
+    auto& m = telemetry::hub().metrics();
+    return TcpCells{m.counter("tcp.timeouts"), m.counter("tcp.fast_retransmits"),
+                    m.counter("tcp.ecn_reductions"), m.histogram("tcp.rtt_us")};
+  }();
+  return cells;
+}
 }
 
 // ---------------------------------------------------------------------------
@@ -101,6 +121,9 @@ void TcpSender::on_tlp() {
 }
 
 void TcpSender::rtt_sample(sim::Time m) {
+  if (telemetry::enabled()) {
+    tcp_cells().rtt_us->observe(static_cast<double>(m) / sim::kMicrosecond);
+  }
   if (srtt_ == 0) {
     srtt_ = m;
     rttvar_ = m / 2;
@@ -227,6 +250,12 @@ std::pair<std::uint64_t, std::uint32_t> TcpSender::next_hole() const {
 
 void TcpSender::enter_recovery_sack() {
   ++stats_.fast_retransmits;
+  if (telemetry::enabled()) tcp_cells().fast_retransmits->add();
+  if (telemetry::tracing()) {
+    telemetry::trace(telemetry::Category::kTcp, port_.simulator().now(),
+                     tuple_.to_string(), "tcp.fast_retransmit", "sack",
+                     static_cast<double>(cwnd_), snd_una_);
+  }
   in_recovery_ = true;
   recover_point_ = snd_nxt_;
   const std::uint64_t inflight = snd_nxt_ - snd_una_;
@@ -289,6 +318,7 @@ void TcpSender::ecn_reduce() {
   if (snd_una_ < ecn_reduce_until_) return;
   ecn_reduce_until_ = snd_nxt_;
   ++stats_.ecn_reductions;
+  if (telemetry::enabled()) tcp_cells().ecn_reductions->add();
   cwr_pending_ = true;
   std::uint64_t new_cwnd;
   if (cfg_.dctcp) {
@@ -429,6 +459,12 @@ void TcpSender::handle_dupack() {
   }
   if (dupacks_ >= cfg_.dupack_threshold) {
     ++stats_.fast_retransmits;
+    if (telemetry::enabled()) tcp_cells().fast_retransmits->add();
+    if (telemetry::tracing()) {
+      telemetry::trace(telemetry::Category::kTcp, port_.simulator().now(),
+                       tuple_.to_string(), "tcp.fast_retransmit", "dupack",
+                       static_cast<double>(cwnd_), snd_una_);
+    }
     in_recovery_ = true;
     recover_point_ = snd_nxt_;
     const std::uint64_t inflight = snd_nxt_ - snd_una_;
@@ -445,6 +481,13 @@ void TcpSender::handle_dupack() {
 void TcpSender::on_rto() {
   if (snd_una_ >= snd_nxt_) return;  // nothing outstanding
   ++stats_.timeouts;
+  if (telemetry::enabled()) tcp_cells().timeouts->add();
+  if (telemetry::tracing()) {
+    telemetry::trace(telemetry::Category::kTcp, port_.simulator().now(),
+                     tuple_.to_string(), "tcp.timeout",
+                     "backoff " + std::to_string(rto_backoff_),
+                     static_cast<double>(snd_nxt_ - snd_una_), snd_una_);
+  }
   ++rto_backoff_;
   ssthresh_ = std::max<std::uint64_t>((snd_nxt_ - snd_una_) / 2, 2ull * cfg_.mss);
   cwnd_ = cfg_.mss;

@@ -102,9 +102,9 @@ TEST(SwitchFlowletTable, NewAndExistingFlowlets) {
 
 TEST(SwitchFlowletTable, KeysIndependent) {
   net::SwitchFlowletTable t(100 * kMicrosecond);
-  t.touch(1, 0);
+  (void)t.touch(1, 0);
   t.set_value(1, 10);
-  t.touch(2, 0);
+  (void)t.touch(2, 0);
   t.set_value(2, 20);
   EXPECT_EQ(t.touch(1, 1).value, 10u);
   EXPECT_EQ(t.touch(2, 1).value, 20u);
@@ -112,8 +112,8 @@ TEST(SwitchFlowletTable, KeysIndependent) {
 
 TEST(SwitchFlowletTable, ExpireHousekeeping) {
   net::SwitchFlowletTable t(100 * kMicrosecond);
-  t.touch(1, 0);
-  t.touch(2, 10'000 * kMicrosecond);
+  (void)t.touch(1, 0);
+  (void)t.touch(2, 10'000 * kMicrosecond);
   t.expire(10'001 * kMicrosecond, 1000 * kMicrosecond);
   EXPECT_EQ(t.size(), 1u);
 }

@@ -1,0 +1,141 @@
+// Tests for the minimal JSON document type used by run artifacts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/json.hpp"
+
+namespace clove::telemetry {
+namespace {
+
+TEST(Json, ScalarKinds) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(1.5).is_number());
+  EXPECT_TRUE(Json(7).is_number());
+  EXPECT_TRUE(Json("s").is_string());
+  EXPECT_DOUBLE_EQ(Json(1.5).as_number(), 1.5);
+  EXPECT_EQ(Json("hello").as_string(), "hello");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json o = Json::object();
+  o.set("zebra", Json(1));
+  o.set("apple", Json(2));
+  o.set("mango", Json(3));
+  EXPECT_EQ(o.dump(), R"({"zebra":1,"apple":2,"mango":3})");
+  // set() on an existing key replaces in place.
+  o.set("apple", Json(9));
+  EXPECT_EQ(o.dump(), R"({"zebra":1,"apple":9,"mango":3})");
+}
+
+TEST(Json, LookupMissingReturnsNull) {
+  Json o = Json::object();
+  o.set("a", Json(1));
+  EXPECT_TRUE(o["missing"].is_null());
+  EXPECT_TRUE(o["missing"]["deeper"].is_null());  // chainable
+  EXPECT_FALSE(o.contains("missing"));
+  EXPECT_TRUE(o.contains("a"));
+  Json a = Json::array();
+  a.push_back(Json(1));
+  EXPECT_TRUE(a[5].is_null());
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+}
+
+TEST(Json, IntegralNumbersEmitWithoutDecimal) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json(0).dump(), "0");
+}
+
+TEST(Json, StringEscapes) {
+  const std::string s = "a\"b\\c\nd\te";
+  const std::string dumped = Json(s).dump();
+  EXPECT_EQ(dumped, R"("a\"b\\c\nd\te")");
+  std::string err;
+  Json back = Json::parse(dumped, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(back.as_string(), s);
+}
+
+TEST(Json, RoundTripDocument) {
+  Json doc = Json::object();
+  doc.set("name", Json("bench"));
+  doc.set("enabled", Json(true));
+  doc.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push_back(Json(1));
+  arr.push_back(Json(2.25));
+  arr.push_back(Json("three"));
+  doc.set("items", arr);
+  Json nested = Json::object();
+  nested.set("p99", Json(0.00125));
+  doc.set("stats", nested);
+
+  for (int indent : {-1, 2}) {
+    std::string err;
+    Json back = Json::parse(doc.dump(indent), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back["name"].as_string(), "bench");
+    EXPECT_TRUE(back["enabled"].as_bool());
+    EXPECT_TRUE(back["nothing"].is_null());
+    ASSERT_EQ(back["items"].size(), 3u);
+    EXPECT_DOUBLE_EQ(back["items"][1].as_number(), 2.25);
+    EXPECT_EQ(back["items"][2].as_string(), "three");
+    EXPECT_DOUBLE_EQ(back["stats"]["p99"].as_number(), 0.00125);
+    // Emit-parse-emit is a fixed point (order preserved).
+    EXPECT_EQ(back.dump(), doc.dump());
+  }
+}
+
+TEST(Json, ParseWhitespaceAndNesting) {
+  std::string err;
+  Json v = Json::parse("  [ 1 , { \"a\" : [ true , null ] } ]  ", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v[1]["a"][0].as_bool());
+  EXPECT_TRUE(v[1]["a"][1].is_null());
+}
+
+TEST(Json, ParseErrorsReported) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated",
+                          "{\"a\" 1}", "[1 2]"}) {
+    std::string err;
+    Json v = Json::parse(bad, &err);
+    EXPECT_TRUE(v.is_null()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(Json, ParseNumbers) {
+  std::string err;
+  Json v = Json::parse("[0, -1, 3.5, 1e3, 2.5e-3]", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_DOUBLE_EQ(v[0].as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(v[1].as_number(), -1.0);
+  EXPECT_DOUBLE_EQ(v[2].as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(v[3].as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(v[4].as_number(), 0.0025);
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json o = Json::object();
+  o.set("a", Json(1));
+  const std::string pretty = o.dump(2);
+  EXPECT_NE(pretty.find("{\n  \"a\": 1\n}"), std::string::npos) << pretty;
+}
+
+TEST(Json, DepthLimitRejectsPathological) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  std::string err;
+  Json v = Json::parse(deep, &err);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace clove::telemetry

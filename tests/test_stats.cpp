@@ -45,6 +45,17 @@ TEST(Samples, Percentiles) {
   EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
 }
 
+TEST(Samples, PercentileInterpolatesBetweenOrderStatistics) {
+  // Pins the documented method: linear interpolation between the two
+  // nearest order statistics, not nearest-rank (which would only ever
+  // return observed samples).
+  Samples s;
+  for (int v : {10, 20, 30, 40}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+  EXPECT_DOUBLE_EQ(s.percentile(75), 32.5);
+}
+
 TEST(Samples, PercentileUnsortedInput) {
   Samples s;
   for (int v : {5, 1, 9, 3, 7}) s.add(v);

@@ -46,11 +46,13 @@ class TcpPipe : public ::testing::Test {
       if (drop_every > 0 && data_seen % drop_every == 0) return;
       if (mark_all_data && pkt->tcp.ect) pkt->tcp.ce = true;
     }
-    // Deliver to the opposite endpoint after the one-way delay.
+    // Deliver to the opposite endpoint after the one-way delay. The shared_ptr
+    // holder keeps the callable copyable for std::function while still freeing
+    // the packet if a test stops the simulator before the event fires.
     TcpEndpoint* target = (from_side == 0) ? b_endpoint : a_endpoint;
-    net::Packet* raw = pkt.release();
-    sim.schedule_in(delay, [target, raw] {
-      target->on_packet(net::PacketPtr(raw));
+    auto holder = std::make_shared<net::PacketPtr>(std::move(pkt));
+    sim.schedule_in(delay, [target, holder] {
+      target->on_packet(std::move(*holder));
     });
   }
 

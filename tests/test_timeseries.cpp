@@ -73,5 +73,41 @@ TEST(TimeSeriesSet, EmptyCsvHasHeaderOnly) {
   EXPECT_EQ(set.to_csv(), "time_ms\n");
 }
 
+TEST(TimeSeriesSet, CsvPadsShorterSeriesWithZero) {
+  // Series started late have fewer points than the anchor (first) series;
+  // rows beyond their length emit 0 rather than misaligning columns.
+  sim::Simulator sim;
+  TimeSeriesSet set(sim);
+  TimeSeries& a = set.add("a", [] { return 1.0; }, sim::milliseconds(10));
+  TimeSeries& late = set.add("late", [] { return 2.0; }, sim::milliseconds(10));
+  a.start();
+  sim.schedule_at(sim::milliseconds(15), [&] { late.start(); });
+  sim.run(sim::milliseconds(35));
+  // a samples at 10, 20, 30; late samples at 25 and 35.
+  ASSERT_EQ(a.points().size(), 3u);
+  ASSERT_EQ(late.points().size(), 2u);
+  const std::string csv = set.to_csv();
+  EXPECT_NE(csv.find("10.000,1,2"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("20.000,1,2"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("30.000,1,0"), std::string::npos) << csv;
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);  // header + 3 rows
+}
+
+TEST(TimeSeriesSet, CsvRowCountFollowsAnchorSeries) {
+  // The anchor (first-added) series defines the row set: a longer second
+  // series is truncated to the anchor's timestamps.
+  sim::Simulator sim;
+  TimeSeriesSet set(sim);
+  TimeSeries& a = set.add("a", [] { return 1.0; }, sim::milliseconds(20));
+  TimeSeries& b = set.add("b", [] { return 2.0; }, sim::milliseconds(10));
+  a.start();
+  b.start();
+  sim.run(sim::milliseconds(45));
+  ASSERT_EQ(a.points().size(), 2u);
+  ASSERT_EQ(b.points().size(), 4u);
+  const std::string csv = set.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
 }  // namespace
 }  // namespace clove::stats

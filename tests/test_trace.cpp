@@ -1,0 +1,195 @@
+// Tests for the bounded trace ring: wraparound, category filters, and the
+// JSONL / chrome-trace exports.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.hpp"
+#include "telemetry/trace.hpp"
+
+namespace clove::telemetry {
+namespace {
+
+TraceEvent ev(sim::Time t, Category cat, std::uint64_t id = 0) {
+  TraceEvent e;
+  e.t = t;
+  e.cat = cat;
+  // Piecewise append avoids a GCC 12 -O3 -Wrestrict false positive
+  // (PR105651) in -Werror builds.
+  e.node = "n";
+  e.node += std::to_string(id % 3);
+  e.name = "event";
+  e.value = static_cast<double>(t);
+  e.id = id;
+  return e;
+}
+
+TEST(TraceLog, RecordsInOrder) {
+  TraceLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.record(ev(i * 100, Category::kQueue, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.recorded_total(), 5u);
+  EXPECT_EQ(log.dropped_oldest(), 0u);
+  auto events = log.events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events.front()->t, 0);
+  EXPECT_EQ(events.back()->t, 400);
+}
+
+TEST(TraceLog, WraparoundKeepsNewestWindow) {
+  TraceLog log;
+  log.set_capacity(8);
+  for (int i = 0; i < 20; ++i) {
+    log.record(ev(i, Category::kQueue, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(log.size(), 8u);
+  EXPECT_EQ(log.recorded_total(), 20u);
+  EXPECT_EQ(log.dropped_oldest(), 12u);
+  auto events = log.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first iteration across the wrap point: 12, 13, ..., 19.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i]->t, static_cast<sim::Time>(12 + i));
+  }
+}
+
+TEST(TraceLog, WraparoundExactlyAtCapacity) {
+  TraceLog log;
+  log.set_capacity(4);
+  for (int i = 0; i < 4; ++i) log.record(ev(i, Category::kPath));
+  EXPECT_EQ(log.dropped_oldest(), 0u);
+  EXPECT_EQ(log.events().front()->t, 0);
+  log.record(ev(4, Category::kPath));
+  EXPECT_EQ(log.dropped_oldest(), 1u);
+  EXPECT_EQ(log.events().front()->t, 1);
+  EXPECT_EQ(log.events().back()->t, 4);
+}
+
+TEST(TraceLog, RecordFilterDropsCategories) {
+  TraceLog log;
+  log.set_filter(static_cast<unsigned>(Category::kWeight));
+  EXPECT_TRUE(log.accepts(Category::kWeight));
+  EXPECT_FALSE(log.accepts(Category::kQueue));
+  log.record(ev(1, Category::kQueue));
+  log.record(ev(2, Category::kWeight));
+  log.record(ev(3, Category::kTcp));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.recorded_total(), 1u);  // filtered events are not "recorded"
+  EXPECT_EQ(log.events().front()->t, 2);
+}
+
+TEST(TraceLog, EventsViewFilterIsIndependent) {
+  TraceLog log;
+  log.record(ev(1, Category::kQueue));
+  log.record(ev(2, Category::kWeight));
+  log.record(ev(3, Category::kWeight));
+  EXPECT_EQ(log.events(static_cast<unsigned>(Category::kWeight)).size(), 2u);
+  EXPECT_EQ(log.events(static_cast<unsigned>(Category::kQueue)).size(), 1u);
+  EXPECT_EQ(log.events().size(), 3u);
+}
+
+TEST(TraceLog, ClearResetsButKeepsCapacityAndFilter) {
+  TraceLog log;
+  log.set_capacity(16);
+  log.set_filter(static_cast<unsigned>(Category::kTcp));
+  log.record(ev(1, Category::kTcp));
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.capacity(), 16u);
+  EXPECT_EQ(log.filter(), static_cast<unsigned>(Category::kTcp));
+  log.record(ev(2, Category::kTcp));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(TraceLog, JsonlLinesParse) {
+  TraceLog log;
+  TraceEvent e;
+  e.t = 1500;
+  e.cat = Category::kWeight;
+  e.node = "hyp\"1";  // exercises escaping
+  e.name = "clove.weight";
+  e.detail = "dst 7 spread";
+  e.value = 0.25;
+  e.id = 50001;
+  log.record(e);
+  log.record(ev(2000, Category::kQueue, 9));
+
+  const std::string jsonl = log.to_jsonl();
+  std::istringstream in(jsonl);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    std::string err;
+    Json v = Json::parse(line, &err);
+    ASSERT_TRUE(err.empty()) << err << " in: " << line;
+    EXPECT_TRUE(v.is_object());
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+
+  std::string err;
+  Json first = Json::parse(jsonl.substr(0, jsonl.find('\n')), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_DOUBLE_EQ(first["t_ns"].as_number(), 1500.0);
+  EXPECT_EQ(first["cat"].as_string(), "weight");
+  EXPECT_EQ(first["node"].as_string(), "hyp\"1");
+  EXPECT_EQ(first["detail"].as_string(), "dst 7 spread");
+  EXPECT_DOUBLE_EQ(first["value"].as_number(), 0.25);
+  EXPECT_DOUBLE_EQ(first["id"].as_number(), 50001.0);
+}
+
+TEST(TraceLog, ChromeTraceShape) {
+  TraceLog log;
+  log.record(ev(1'000'000, Category::kFlowlet, 1));  // node n1
+  log.record(ev(2'000'000, Category::kWeight, 2));   // node n2
+  std::string err;
+  Json doc = Json::parse(log.to_chrome_trace(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_TRUE(doc["traceEvents"].is_array());
+  // 2 instant events + 2 thread_name metadata events.
+  ASSERT_EQ(doc["traceEvents"].size(), 4u);
+  int instants = 0, metadata = 0;
+  for (std::size_t i = 0; i < doc["traceEvents"].size(); ++i) {
+    const Json& t = doc["traceEvents"][i];
+    if (t["ph"].as_string() == "i") {
+      ++instants;
+      EXPECT_GT(t["ts"].as_number(), 0.0);  // simulated microseconds
+    } else if (t["ph"].as_string() == "M") {
+      ++metadata;
+      EXPECT_EQ(t["name"].as_string(), "thread_name");
+    }
+  }
+  EXPECT_EQ(instants, 2);
+  EXPECT_EQ(metadata, 2);
+}
+
+TEST(TraceCategories, NamesAndMaskParsing) {
+  EXPECT_STREQ(category_name(Category::kWeight), "weight");
+  EXPECT_STREQ(category_name(Category::kTcp), "tcp");
+  EXPECT_EQ(parse_category_mask(""), kAllCategories);
+  EXPECT_EQ(parse_category_mask("weight"),
+            static_cast<unsigned>(Category::kWeight));
+  EXPECT_EQ(parse_category_mask("weight,tcp"),
+            static_cast<unsigned>(Category::kWeight) |
+                static_cast<unsigned>(Category::kTcp));
+  // Unknown names are ignored rather than fatal.
+  EXPECT_EQ(parse_category_mask("weight,bogus"),
+            static_cast<unsigned>(Category::kWeight));
+}
+
+TEST(TraceLog, SetCapacityRestartsCapture) {
+  TraceLog log;
+  log.record(ev(1, Category::kQueue));
+  log.set_capacity(2);
+  EXPECT_EQ(log.size(), 0u);
+  for (int i = 0; i < 3; ++i) log.record(ev(10 + i, Category::kQueue));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events().front()->t, 11);
+}
+
+}  // namespace
+}  // namespace clove::telemetry
