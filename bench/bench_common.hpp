@@ -3,9 +3,14 @@
 // Shared plumbing for the figure-reproduction bench binaries.
 //
 // Scale knobs (environment):
-//   CLOVE_JOBS   jobs per connection   (default 40; paper §5 used 50000)
-//   CLOVE_SEEDS  seeds averaged        (default 1;  paper used 3)
-//   CLOVE_CONNS  connections/client    (default 2;  §6 used 3)
+//   CLOVE_JOBS     jobs per connection   (default 40; paper §5 used 50000)
+//   CLOVE_SEEDS    seeds averaged        (default 1;  paper used 3)
+//   CLOVE_CONNS    connections/client    (default 2;  §6 used 3)
+//   CLOVE_THREADS  sweep-point parallelism (default: hardware threads; 1 =
+//                  serial). Sweep points are independent simulations, so
+//                  run_sweep() fans them out across a harness::ParallelRunner;
+//                  results and artifacts keep sweep order and are
+//                  bit-identical for any thread count at equal seeds.
 //
 // Each binary prints the same rows/series as the corresponding figure in the
 // paper; EXPERIMENTS.md records the paper-vs-measured comparison.
@@ -13,14 +18,18 @@
 // Machine-readable artifacts: set CLOVE_JSON_OUT=<dir> and each bench writes
 // <dir>/<bench>.json with every swept point (FCT stats + fabric counters +
 // a telemetry metrics digest). Declaring a bench::Artifact near the top of
-// main() is all a bench needs; run_point() records into it automatically.
+// main() is all a bench needs; run_point() / run_sweep() record into it
+// automatically.
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel_runner.hpp"
 #include "stats/stats.hpp"
 #include "telemetry/artifact.hpp"
 #include "telemetry/hub.hpp"
@@ -168,10 +177,11 @@ class Artifact {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Run one (scheme, load) point averaged over `seeds` seeds. Records the
-/// point into the current bench Artifact (if one is declared).
-inline SweepResult run_point(harness::ExperimentConfig cfg, double load,
-                             const harness::BenchScale& scale) {
+/// Run one (scheme, load) point averaged over `seeds` seeds, without
+/// recording it anywhere. Pure with respect to process state (each seed is a
+/// self-contained simulation), so points may run concurrently.
+inline SweepResult compute_point(harness::ExperimentConfig cfg, double load,
+                                 const harness::BenchScale& scale) {
   workload::ClientServerConfig wl;
   wl.load = load;
   wl.jobs_per_conn = scale.jobs_per_conn;
@@ -193,8 +203,44 @@ inline SweepResult run_point(harness::ExperimentConfig cfg, double load,
     out.fct = r.fct;
     out.metrics = std::move(r.metrics);
   }
+  return out;
+}
+
+/// Run one (scheme, load) point averaged over `seeds` seeds. Records the
+/// point into the current bench Artifact (if one is declared).
+inline SweepResult run_point(harness::ExperimentConfig cfg, double load,
+                             const harness::BenchScale& scale) {
+  SweepResult out = compute_point(cfg, load, scale);
   if (Artifact* a = Artifact::current()) a->record_point(cfg, load, out);
   return out;
+}
+
+/// One entry of a sweep handed to run_sweep().
+struct SweepPoint {
+  harness::ExperimentConfig cfg;
+  double load{0.0};
+};
+
+/// Run every sweep point, in parallel across CLOVE_THREADS workers (sweep
+/// points are independent simulations — own Simulator, packet pool, and
+/// telemetry scope each). Results come back in `points` order, and Artifact
+/// recording happens afterwards on the calling thread in that same order, so
+/// output is deterministic and bit-identical to a serial run.
+inline std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& points,
+                                          const harness::BenchScale& scale) {
+  harness::ParallelRunner runner;
+  std::vector<std::function<SweepResult()>> fns;
+  fns.reserve(points.size());
+  for (const SweepPoint& p : points) {
+    fns.push_back([p, &scale] { return compute_point(p.cfg, p.load, scale); });
+  }
+  std::vector<SweepResult> results = runner.map<SweepResult>(std::move(fns));
+  if (Artifact* a = Artifact::current()) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      a->record_point(points[i].cfg, points[i].load, results[i]);
+    }
+  }
+  return results;
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref,

@@ -26,22 +26,30 @@ int main() {
     return h;
   }());
 
-  std::vector<std::vector<double>> fct(schemes.size());
+  // All (load, scheme) points are independent: build the whole sweep and let
+  // run_sweep() fan it out across CLOVE_THREADS workers.
+  std::vector<bench::SweepPoint> points;
   for (double load : loads) {
-    std::vector<std::string> row{stats::Table::fmt(load * 100, 0)};
-    for (std::size_t i = 0; i < schemes.size(); ++i) {
+    for (harness::Scheme s : schemes) {
       harness::ExperimentConfig cfg = harness::make_testbed_profile();
-      cfg.scheme = schemes[i];
+      cfg.scheme = s;
       cfg.asymmetric = true;
-      auto r = bench::run_point(cfg, load, scale);
+      points.push_back(bench::SweepPoint{cfg, load});
+    }
+  }
+  const auto results = bench::run_sweep(points, scale);
+
+  std::vector<std::vector<double>> fct(schemes.size());
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    std::vector<std::string> row{stats::Table::fmt(loads[li] * 100, 0)};
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const auto& r = results[li * schemes.size() + i];
       fct[i].push_back(r.avg_fct_s);
       row.push_back(stats::Table::fmt(r.avg_fct_s));
     }
     table.add_row(row);
-    std::printf(".");
-    std::fflush(stdout);
   }
-  std::printf("\n\navg FCT (seconds):\n");
+  std::printf("\navg FCT (seconds):\n");
   table.print();
 
   const std::size_t last = loads.size() - 1;

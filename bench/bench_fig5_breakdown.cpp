@@ -33,16 +33,24 @@ int main() {
   stats::Table elephants(headers());
   stats::Table p99(headers());
 
-  std::vector<std::vector<double>> p99_series(schemes.size());
+  std::vector<bench::SweepPoint> points;
   for (double load : loads) {
-    std::vector<std::string> mrow{stats::Table::fmt(load * 100, 0)};
+    for (harness::Scheme s : schemes) {
+      harness::ExperimentConfig cfg = harness::make_testbed_profile();
+      cfg.scheme = s;
+      cfg.asymmetric = true;
+      points.push_back(bench::SweepPoint{cfg, load});
+    }
+  }
+  const auto results = bench::run_sweep(points, scale);
+
+  std::vector<std::vector<double>> p99_series(schemes.size());
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    std::vector<std::string> mrow{stats::Table::fmt(loads[li] * 100, 0)};
     std::vector<std::string> erow = mrow;
     std::vector<std::string> prow = mrow;
     for (std::size_t i = 0; i < schemes.size(); ++i) {
-      harness::ExperimentConfig cfg = harness::make_testbed_profile();
-      cfg.scheme = schemes[i];
-      cfg.asymmetric = true;
-      auto r = bench::run_point(cfg, load, scale);
+      const auto& r = results[li * schemes.size() + i];
       mrow.push_back(stats::Table::fmt(r.mice_avg_fct_s));
       erow.push_back(stats::Table::fmt(r.elephant_avg_fct_s));
       prow.push_back(stats::Table::fmt(r.p99_fct_s));
@@ -51,11 +59,9 @@ int main() {
     mice.add_row(mrow);
     elephants.add_row(erow);
     p99.add_row(prow);
-    std::printf(".");
-    std::fflush(stdout);
   }
 
-  std::printf("\n\nFig. 5a - avg FCT, flows < 100 KB (seconds):\n");
+  std::printf("\nFig. 5a - avg FCT, flows < 100 KB (seconds):\n");
   mice.print();
   std::printf("\nFig. 5b - avg FCT, flows > 10 MB (seconds):\n");
   elephants.print();

@@ -16,16 +16,15 @@ int main() {
   const std::vector<harness::Scheme> schemes = {harness::Scheme::kEcmp,
                                                 harness::Scheme::kCloveEcn,
                                                 harness::Scheme::kConga};
-  std::vector<bench::SweepResult> results;
+  std::vector<bench::SweepPoint> points;
   for (auto s : schemes) {
     harness::ExperimentConfig cfg = harness::make_ns2_profile();
     cfg.scheme = s;
     cfg.asymmetric = true;
-    results.push_back(bench::run_point(cfg, 0.7, scale));
-    std::printf(".");
-    std::fflush(stdout);
+    points.push_back(bench::SweepPoint{cfg, 0.7});
   }
-  std::printf("\n\nmice FCT CDF (seconds at each percentile):\n");
+  const auto results = bench::run_sweep(points, scale);
+  std::printf("\nmice FCT CDF (seconds at each percentile):\n");
 
   stats::Table table({"pct", "ECMP", "Clove-ECN", "CONGA"});
   for (int pct : {10, 25, 50, 75, 90, 95, 99}) {

@@ -1,18 +1,58 @@
 // Micro-benchmarks (google-benchmark) for the per-packet datapath
 // operations Clove adds to the hypervisor vswitch (§4 "Minimal packet
 // processing overhead"): ECMP hashing, flowlet-table touches, WRR picks,
-// DRE updates and full policy pick_port() calls.
+// DRE updates, full policy pick_port() calls, and the simulator event/packet
+// hot loop (events/sec and heap allocations per event — the perf baseline
+// EXPERIMENTS.md tracks).
+//
+// With CLOVE_JSON_OUT=<dir> set, the custom main() below writes every
+// benchmark's ns/op and user counters to <dir>/BENCH_micro.json so runs can
+// be diffed across commits.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "bench_common.hpp"
 #include "lb/clove_ecn.hpp"
 #include "lb/clove_int.hpp"
 #include "lb/ecmp.hpp"
 #include "lb/edge_flowlet.hpp"
 #include "lb/presto.hpp"
+#include "net/packet_pool.hpp"
 #include "overlay/flowlet.hpp"
+#include "sim/simulator.hpp"
 #include "telemetry/dre.hpp"
 #include "telemetry/hub.hpp"
+
+// --- allocation counting ---------------------------------------------------
+// Program-wide operator new/delete override counting every heap allocation,
+// so the event-loop benchmarks can report an exact allocs-per-event figure
+// (the "zero heap allocations per steady-state packet event" claim).
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -202,6 +242,142 @@ void BM_CloveEcnFeedback(benchmark::State& state) {
 }
 BENCHMARK(BM_CloveEcnFeedback);
 
+// --- simulator event loop --------------------------------------------------
+// The perf baseline behind the pooled-packet + slab-EventQueue + SmallFn
+// datapath: events/sec through schedule->run and exact heap allocations per
+// event. The first iterations warm the slab/pool (a handful of allocations);
+// amortized over the run, steady state must read 0.00 allocs/event.
+
+void report_events(benchmark::State& state, std::uint64_t allocs) {
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_event"] =
+      benchmark::Counter(static_cast<double>(allocs),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_EventChain(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Time t = 0;
+  std::uint64_t fired = 0;
+  const std::uint64_t a0 = alloc_count();
+  for (auto _ : state) {
+    t += 1000;
+    sim.schedule_at(t, [&fired] { ++fired; });
+    sim.run(t);
+  }
+  report_events(state, alloc_count() - a0);
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventChain);
+
+void BM_PacketEvent_Pooled(benchmark::State& state) {
+  // The steady-state datapath op: acquire a pooled packet, schedule an event
+  // owning it (inline in the SmallFn buffer), fire it, packet returns to the
+  // pool. Zero heap traffic once the pool and slab are warm.
+  sim::Simulator sim;
+  sim::Time t = 0;
+  std::uint64_t bytes = 0;
+  const std::uint64_t a0 = alloc_count();
+  for (auto _ : state) {
+    t += 1000;
+    auto pkt = net::make_packet(sim);
+    pkt->payload = 1460;
+    sim.schedule_at(t, [&bytes, pkt = std::move(pkt)]() mutable {
+      bytes += pkt->wire_size();
+      pkt.reset();
+    });
+    sim.run(t);
+  }
+  report_events(state, alloc_count() - a0);
+  state.counters["pool_allocated"] = static_cast<double>(
+      net::PacketPool::of(sim).allocated());
+  benchmark::DoNotOptimize(bytes);
+}
+BENCHMARK(BM_PacketEvent_Pooled);
+
+void BM_PacketEvent_Heap(benchmark::State& state) {
+  // Same op with the heap factory: one packet allocation per event (what
+  // every packet cost before the pool; the std::function-era datapath added
+  // two more for the callable and its shared_ptr holder).
+  sim::Simulator sim;
+  sim::Time t = 0;
+  std::uint64_t bytes = 0;
+  const std::uint64_t a0 = alloc_count();
+  for (auto _ : state) {
+    t += 1000;
+    auto pkt = net::make_packet();
+    pkt->payload = 1460;
+    sim.schedule_at(t, [&bytes, pkt = std::move(pkt)]() mutable {
+      bytes += pkt->wire_size();
+      pkt.reset();
+    });
+    sim.run(t);
+  }
+  report_events(state, alloc_count() - a0);
+  benchmark::DoNotOptimize(bytes);
+}
+BENCHMARK(BM_PacketEvent_Heap);
+
+void BM_PacketPool_RoundTrip(benchmark::State& state) {
+  sim::Simulator sim;
+  auto& pool = net::PacketPool::of(sim);
+  const std::uint64_t a0 = alloc_count();
+  for (auto _ : state) {
+    auto pkt = pool.acquire();
+    benchmark::DoNotOptimize(pkt);
+  }
+  report_events(state, alloc_count() - a0);
+}
+BENCHMARK(BM_PacketPool_RoundTrip);
+
+void BM_PacketHeap_RoundTrip(benchmark::State& state) {
+  const std::uint64_t a0 = alloc_count();
+  for (auto _ : state) {
+    auto pkt = net::make_packet();
+    benchmark::DoNotOptimize(pkt);
+  }
+  report_events(state, alloc_count() - a0);
+}
+BENCHMARK(BM_PacketHeap_RoundTrip);
+
+// --- artifact emission -----------------------------------------------------
+
+/// ConsoleReporter that additionally records every run's ns/op and user
+/// counters into the bench Artifact, producing BENCH_micro.json when
+/// CLOVE_JSON_OUT is set (see run_benches.sh).
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    if (bench::Artifact* a = bench::Artifact::current()) {
+      for (const Run& run : runs) {
+        if (run.iterations == 0) continue;
+        const double ns_per_op = run.real_accumulated_time /
+                                 static_cast<double>(run.iterations) * 1e9;
+        a->add_value(run.benchmark_name() + ".ns_per_op", ns_per_op);
+        for (const auto& [cname, counter] : run.counters) {
+          a->add_value(run.benchmark_name() + "." + cname, counter.value);
+        }
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const auto scale = clove::harness::BenchScale::from_env();
+  clove::bench::Artifact artifact("BENCH_micro",
+                                  "micro datapath perf baseline", scale);
+  // The Artifact enables telemetry for figure benches; here it would skew the
+  // plain (telemetry-off) datapath numbers, and the *_Telemetry benchmarks
+  // scope their own enablement anyway.
+  clove::telemetry::hub().set_enabled(false);
+  ArtifactReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,11 +2,18 @@
 # Regenerates every paper figure/table; see README.md for scale knobs.
 #
 # Set CLOVE_JSON_OUT=<dir> to also emit one machine-readable JSON artifact
-# per bench (swept points, fabric counters, telemetry digest) into <dir>.
+# per bench (swept points, fabric counters, telemetry digest) into <dir>;
+# bench_micro_datapath contributes BENCH_micro.json (ns/op, events/sec and
+# allocs/event for the datapath hot loops — the perf baseline).
+#
+# Sweep points run in parallel across CLOVE_THREADS worker threads (default:
+# all hardware threads). Results are bit-identical for any thread count;
+# set CLOVE_THREADS=1 to force serial execution.
 : "${CLOVE_JOBS:=30}"
 : "${CLOVE_CONNS:=2}"
 : "${CLOVE_SEEDS:=1}"
 export CLOVE_JOBS CLOVE_CONNS CLOVE_SEEDS
+[ -n "${CLOVE_THREADS:-}" ] && export CLOVE_THREADS
 if [ -n "${CLOVE_JSON_OUT:-}" ]; then
   mkdir -p "$CLOVE_JSON_OUT"
   export CLOVE_JSON_OUT

@@ -1,0 +1,100 @@
+#include "harness/parallel_runner.hpp"
+
+#include <cstdlib>
+
+namespace clove::harness {
+
+unsigned default_threads() {
+  if (const char* v = std::getenv("CLOVE_THREADS")) {
+    const long n = std::atol(v);
+    if (n >= 1) return static_cast<unsigned>(n > 1024 ? 1024 : n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ParallelRunner::ParallelRunner(unsigned threads)
+    : threads_(threads == 0 ? default_threads() : threads) {}
+
+ParallelRunner::~ParallelRunner() = default;
+
+/// Pool state shared by the workers of one run_all() call. One mutex guards
+/// all deques: tasks are whole simulations, so queue operations are a
+/// vanishing fraction of runtime and per-deque locks would buy nothing.
+struct ParallelRunner::Shared {
+  std::mutex mu;
+  std::vector<std::deque<std::size_t>> queues;  // task indices, per worker
+
+  /// Own queue front first (LIFO locality is irrelevant at this grain, FIFO
+  /// keeps point ordering intuitive), then steal from the back of the
+  /// busiest victim. Returns false when every queue is empty.
+  bool next(std::size_t self, std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!queues[self].empty()) {
+      out = queues[self].front();
+      queues[self].pop_front();
+      return true;
+    }
+    std::size_t victim = queues.size();
+    std::size_t best = 0;
+    for (std::size_t w = 0; w < queues.size(); ++w) {
+      if (queues[w].size() > best) {
+        best = queues[w].size();
+        victim = w;
+      }
+    }
+    if (victim == queues.size()) return false;
+    out = queues[victim].back();
+    queues[victim].pop_back();
+    return true;
+  }
+};
+
+void ParallelRunner::run_all(std::vector<Task> tasks) {
+  if (tasks.empty()) return;
+
+  // Every task gets a fresh telemetry scope inheriting the submitter's
+  // settings — also when running inline, so a CLOVE_THREADS=1 run produces
+  // byte-identical telemetry snapshots to a parallel one.
+  const telemetry::ScopeSettings settings =
+      telemetry::current_scope().settings();
+  std::vector<std::exception_ptr> errors(tasks.size());
+  auto run_one = [&](std::size_t i) {
+    telemetry::Scope scope(settings);
+    telemetry::ScopeGuard guard(scope);
+    try {
+      tasks[i]();
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  const std::size_t workers =
+      std::min<std::size_t>(threads_, tasks.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_one(i);
+  } else {
+    Shared shared;
+    shared.queues.resize(workers);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      shared.queues[i % workers].push_back(i);  // round-robin deal
+    }
+    auto worker = [&](std::size_t self) {
+      std::size_t i;
+      while (shared.next(self, i)) run_one(i);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      pool.emplace_back(worker, w);
+    }
+    worker(0);  // the calling thread works too
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace clove::harness

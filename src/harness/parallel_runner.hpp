@@ -1,0 +1,81 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "telemetry/scope.hpp"
+
+namespace clove::harness {
+
+/// Threads to use for parallel sweeps: the CLOVE_THREADS environment knob,
+/// else std::thread::hardware_concurrency(). CLOVE_THREADS=1 disables
+/// parallelism (tasks run inline on the caller, the pre-runner behavior).
+[[nodiscard]] unsigned default_threads();
+
+/// Work-stealing thread pool for embarrassingly parallel sweep points.
+///
+/// Each sweep point is an independent simulation: its own Simulator, its own
+/// packet pool, and — via telemetry::ScopeGuard — its own telemetry scope, so
+/// worker threads share no mutable state and results are bit-identical to a
+/// serial run at equal seeds (per-point RNG seeding and per-simulation packet
+/// uids make thread count invisible to the simulation).
+///
+/// Scheduling: submitted tasks are dealt round-robin onto per-worker deques;
+/// a worker pops its own deque from the front and steals from victims' backs
+/// when empty. Tasks are coarse (whole simulations, seconds each), so the
+/// single pool mutex is nowhere near contention — stealing exists to absorb
+/// the large per-point runtime variance of a load sweep, not to shave
+/// nanoseconds.
+///
+/// map() delivers results in input order regardless of completion order, so
+/// artifact files and stdout summaries are deterministic too.
+class ParallelRunner {
+ public:
+  using Task = std::function<void()>;
+
+  /// `threads == 0` means default_threads(). With one thread no workers are
+  /// spawned and run_all()/map() execute inline on the calling thread.
+  explicit ParallelRunner(unsigned threads = 0);
+  ~ParallelRunner();
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Run every task to completion (in parallel when threads() > 1). Each task
+  /// executes under a fresh telemetry Scope inheriting the submitter's
+  /// settings — including when inline — so telemetry isolation does not
+  /// depend on thread count. The calling thread participates in the work.
+  /// The first task exception (by input order) is rethrown after all tasks
+  /// finish.
+  void run_all(std::vector<Task> tasks);
+
+  /// run_all() for value-returning functions: results come back in input
+  /// order, not completion order.
+  template <typename R>
+  [[nodiscard]] std::vector<R> map(std::vector<std::function<R()>> fns) {
+    std::vector<R> results(fns.size());
+    std::vector<Task> tasks;
+    tasks.reserve(fns.size());
+    for (std::size_t i = 0; i < fns.size(); ++i) {
+      tasks.push_back(
+          [&results, i, fn = std::move(fns[i])] { results[i] = fn(); });
+    }
+    run_all(std::move(tasks));
+    return results;
+  }
+
+ private:
+  struct Shared;  // the mutex-guarded pool state (defined in the .cpp)
+
+  unsigned threads_;
+};
+
+}  // namespace clove::harness

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "net/packet_pool.hpp"
+
 namespace clove::net {
 
 std::string FiveTuple::to_string() const {
@@ -23,11 +25,23 @@ std::string Packet::to_string() const {
   return buf;
 }
 
+void PacketDeleter::operator()(Packet* p) const noexcept {
+  if (pool != nullptr) {
+    pool->release(p);
+  } else {
+    delete p;
+  }
+}
+
 PacketPtr make_packet() {
   static std::atomic<std::uint64_t> next_uid{1};
-  auto p = std::make_unique<Packet>();
+  auto* p = new Packet;
   p->uid = next_uid.fetch_add(1, std::memory_order_relaxed);
-  return p;
+  return PacketPtr(p);
+}
+
+PacketPtr make_packet(sim::Simulator& sim) {
+  return PacketPool::of(sim).acquire();
 }
 
 std::uint64_t hash_tuple(const FiveTuple& t, std::uint64_t salt) {

@@ -7,6 +7,10 @@
 
 #include "sim/time.hpp"
 
+namespace clove::sim {
+class Simulator;
+}  // namespace clove::sim
+
 namespace clove::net {
 
 /// Node / endpoint address. In this simulator an IP address is simply the
@@ -198,11 +202,28 @@ struct Packet {
   [[nodiscard]] std::string to_string() const;
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+class PacketPool;
 
-/// Factory that stamps unique ids (per-simulation counter lives in the
-/// caller; this free function exists so tests can build packets tersely).
+/// Deleter behind PacketPtr: returns the packet to its owning pool, or plain
+/// `delete`s it when there is none (default-constructed, as for the heap
+/// make_packet() below or a PacketPtr rebuilt from a released raw pointer —
+/// pool packets are individually `new`ed, so either path is always safe).
+struct PacketDeleter {
+  PacketPool* pool{nullptr};
+  void operator()(Packet* p) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/// Heap factory stamping process-unique ids; exists so tests can build
+/// packets tersely without a Simulator. Datapath code uses the pooled
+/// overload below instead.
 [[nodiscard]] PacketPtr make_packet();
+
+/// Pooled factory: recycles packets through the per-Simulator PacketPool
+/// (zero heap allocations in steady state) and stamps per-simulation uids,
+/// which keeps id sequences deterministic under parallel sweeps.
+[[nodiscard]] PacketPtr make_packet(sim::Simulator& sim);
 
 /// Deterministic 64-bit mix used for ECMP hashing (salted per switch) and
 /// Presto flow ids. Splittable and platform-stable.

@@ -66,7 +66,7 @@ void Switch::send_probe_reply(const Packet& probe, int in_port) {
   // Models the ICMP Time-Exceeded message a real switch would emit: a small
   // packet routed back to the prober, identifying the ingress interface it
   // arrived on (which is what lets traceroute tell parallel links apart).
-  auto reply = make_packet();
+  auto reply = make_packet(sim_);
   reply->inner.src_ip = ip();
   reply->inner.dst_ip = probe.wire_src();
   reply->inner.proto = Proto::kProbeReply;

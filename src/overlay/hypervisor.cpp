@@ -163,7 +163,7 @@ void Hypervisor::receive(net::PacketPtr pkt, int /*in_port*/) {
 void Hypervisor::handle_probe(net::PacketPtr pkt) {
   // A traceroute probe survived to the destination hypervisor: answer it so
   // the prober learns the path is complete (§3.1).
-  auto reply = net::make_packet();
+  auto reply = net::make_packet(sim_);
   reply->inner.src_ip = ip();
   reply->inner.dst_ip = pkt->wire_src();
   reply->inner.proto = net::Proto::kProbeReply;

@@ -43,7 +43,7 @@ void TracerouteDaemon::probe_now(net::IpAddr dst) {
   for (std::uint16_t port : ports) {
     st.round.traces.try_emplace(port);
     for (int ttl = 1; ttl <= cfg_.max_ttl; ++ttl) {
-      auto probe = net::make_packet();
+      auto probe = net::make_packet(sim_);
       probe->encap.present = true;
       probe->encap.tuple = net::FiveTuple{self_, dst, port, kSttPort,
                                           net::Proto::kStt};

@@ -1,44 +1,74 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace clove::sim {
 
-/// Opaque handle to a scheduled event, usable for cancellation.
+/// Opaque handle to a scheduled event, usable for cancellation. Carries the
+/// slab slot plus a generation (seq), so stale handles — fired events, or a
+/// slot since reused — cancel as a no-op instead of killing a newer event.
 struct EventId {
   std::uint64_t seq{0};
+  std::uint32_t slot{0};
   [[nodiscard]] bool valid() const { return seq != 0; }
   bool operator==(const EventId&) const = default;
 };
 
 /// A time-ordered queue of callbacks. Ties are broken by insertion order so
-/// that runs are fully deterministic. Cancellation is lazy: cancelled events
-/// stay in the heap but are skipped (and reclaimed) when they reach the top.
+/// that runs are fully deterministic.
+///
+/// Hot-loop layout: the binary heap orders small POD entries {time, seq,
+/// slot}; callbacks live in a slab of reusable nodes addressed by slot, so
+/// heap sifts move 24-byte PODs and the steady state performs zero heap
+/// allocations (SmallFn keeps capture-light callbacks inline, and drained
+/// slots are recycled through a freelist). Cancellation is lazy in the heap
+/// (the POD entry is skipped when it surfaces) but eager in the slab: the
+/// callback is destroyed immediately — releasing captured resources such as
+/// packets — and `size()` counts only live events.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   /// Schedule `cb` at absolute time `at`. Returns a handle for cancellation.
   EventId schedule(Time at, Callback cb) {
-    EventId id{++next_seq_};
-    heap_.push(Entry{at, id.seq, std::move(cb)});
-    return id;
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    Node& n = nodes_[slot];
+    n.cb = std::move(cb);
+    n.seq = ++next_seq_;
+    n.cancelled = false;
+    heap_.push(Entry{at, n.seq, slot});
+    ++live_;
+    return EventId{n.seq, slot};
   }
 
   /// Cancel a previously scheduled event. Cancelling an already-fired event
-  /// is a no-op (callers should clear their handles on fire; see Simulator).
+  /// (or a handle whose slot was since reused) is a no-op. The callback is
+  /// destroyed immediately; only the POD heap entry lingers until it
+  /// surfaces.
   void cancel(EventId id) {
-    if (id.valid() && id.seq <= next_seq_) cancelled_.insert(id.seq);
+    if (!id.valid() || id.slot >= nodes_.size()) return;
+    Node& n = nodes_[id.slot];
+    if (n.seq != id.seq || n.cancelled) return;
+    n.cancelled = true;
+    n.cb = Callback{};
+    --live_;
   }
 
-  [[nodiscard]] bool empty() { skim(); return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// Number of live (not cancelled, not yet fired) events.
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the next live event, or kTimeNever if none.
   [[nodiscard]] Time next_time() {
@@ -51,36 +81,62 @@ class EventQueue {
   Time run_next() {
     skim();
     if (heap_.empty()) return kTimeNever;
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    const Entry e = heap_.top();
     heap_.pop();
-    e.cb();
+    // Move the callback out and recycle the slot BEFORE invoking: the
+    // callback may schedule new events (possibly growing the slab), and the
+    // freed slot is immediately reusable.
+    Callback cb = std::move(nodes_[e.slot].cb);
+    release(e.slot);
+    --live_;
+    cb();
     return e.at;
   }
+
+  /// Nodes ever allocated in the slab — a high-watermark of concurrently
+  /// scheduled events, exposed so tests can pin slot recycling.
+  [[nodiscard]] std::size_t slab_capacity() const { return nodes_.size(); }
 
  private:
   struct Entry {
     Time at;
     std::uint64_t seq;
-    Callback cb;
+    std::uint32_t slot;
     bool operator>(const Entry& o) const {
       if (at != o.at) return at > o.at;
       return seq > o.seq;
     }
   };
 
-  /// Drop cancelled entries from the top of the heap.
+  struct Node {
+    Callback cb;
+    std::uint64_t seq{0};
+    bool cancelled{false};
+  };
+
+  void release(std::uint32_t slot) {
+    Node& n = nodes_[slot];
+    n.cb = Callback{};
+    n.seq = 0;
+    n.cancelled = false;
+    free_slots_.push_back(slot);
+  }
+
+  /// Drop cancelled entries from the top of the heap. Invariant: a heap
+  /// entry's slot is recycled only here or in run_next(), so entry.seq ==
+  /// node.seq until the entry is popped.
   void skim() {
-    while (!heap_.empty() && !cancelled_.empty()) {
-      auto it = cancelled_.find(heap_.top().seq);
-      if (it == cancelled_.end()) break;
-      cancelled_.erase(it);
+    while (!heap_.empty() && nodes_[heap_.top().slot].cancelled) {
+      release(heap_.top().slot);
       heap_.pop();
     }
   }
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_{0};
+  std::size_t live_{0};
 };
 
 }  // namespace clove::sim

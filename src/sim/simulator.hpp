@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 
 #include "sim/event_queue.hpp"
@@ -12,7 +13,8 @@ namespace clove::sim {
 
 /// The discrete-event simulation engine: a clock plus an event queue plus the
 /// root RNG. Every simulated entity holds a reference to one Simulator; there
-/// are no global singletons, so independent experiments can run side by side.
+/// are no global singletons, so independent experiments can run side by side
+/// — including concurrently on different threads (see harness::ParallelRunner).
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
@@ -55,9 +57,23 @@ class Simulator {
   void clear_stop() { stopped_ = false; }
 
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+  /// Live (scheduled, not cancelled, not yet fired) events.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Opaque per-simulation extension slot with an owner-supplied deleter.
+  /// Higher layers attach per-simulation state the sim layer cannot name —
+  /// today the net::PacketPool (see net::PacketPool::of) — keeping each
+  /// simulation self-contained so parallel runs share nothing. One slot;
+  /// the first claimant wins. Declared before the event queue so pending
+  /// callbacks holding pooled resources are destroyed before the pool.
+  [[nodiscard]] void* extension() const { return extension_.get(); }
+  void set_extension(void* p, void (*deleter)(void*)) {
+    extension_ = ExtensionPtr(p, deleter);
+  }
+
  private:
+  using ExtensionPtr = std::unique_ptr<void, void (*)(void*)>;
+  ExtensionPtr extension_{nullptr, [](void*) {}};
   Time now_{0};
   EventQueue queue_;
   Rng rng_;
@@ -95,7 +111,9 @@ class Timer {
   }
 
   [[nodiscard]] bool pending() const { return id_.valid(); }
-  [[nodiscard]] Time deadline() const { return deadline_; }
+  /// Absolute time of the pending firing, or 0 when nothing is pending — a
+  /// cancelled or fired timer no longer reports its stale deadline.
+  [[nodiscard]] Time deadline() const { return pending() ? deadline_ : 0; }
 
  private:
   Simulator& sim_;

@@ -1,33 +1,9 @@
 #include "telemetry/hub.hpp"
 
-#include <cstdlib>
-
 namespace clove::telemetry {
 
-namespace detail {
-bool g_enabled = false;
-}  // namespace detail
-
-Hub::Hub() {
-  if (const char* v = std::getenv("CLOVE_TELEMETRY")) {
-    detail::g_enabled = v[0] != '\0' && v[0] != '0';
-  }
-  if (const char* v = std::getenv("CLOVE_TRACE_CAPACITY")) {
-    const long n = std::atol(v);
-    if (n > 0) trace_.set_capacity(static_cast<std::size_t>(n));
-  }
-  if (const char* v = std::getenv("CLOVE_TRACE_CATEGORIES")) {
-    trace_.set_filter(parse_category_mask(v));
-  }
-}
-
-void Hub::begin_run() {
-  metrics_.reset_values();
-  trace_.clear();
-}
-
 Hub& hub() {
-  static Hub instance;
+  static Hub instance;  // stateless facade; one is as good as another
   return instance;
 }
 
@@ -48,7 +24,7 @@ void trace(Category cat, sim::Time now, std::string node, std::string name,
   ev.detail = std::move(detail);
   ev.value = value;
   ev.id = id;
-  hub().trace().record(std::move(ev));
+  current_scope().trace().record(std::move(ev));
 }
 
 }  // namespace clove::telemetry

@@ -5,45 +5,30 @@
 #include "sim/logging.hpp"
 #include "sim/time.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/scope.hpp"
 #include "telemetry/trace.hpp"
 
 namespace clove::telemetry {
 
-namespace detail {
-/// Single process-wide on/off flag, read inline on every hot-path guard.
-/// Like sim::log_level(), telemetry is a debugging/observability aid rather
-/// than simulated state, so a plain process knob (not Simulator state) keeps
-/// the instrumentation plumbing-free; the simulation is single-threaded.
-extern bool g_enabled;
-}  // namespace detail
-
-/// The zero-cost-when-disabled guard: one global bool load. Every hot-path
-/// recording site checks this before touching a cell or building an event.
-[[nodiscard]] inline bool enabled() { return detail::g_enabled; }
-
-/// Process-wide observability hub: the metrics registry plus the trace ring.
-/// Construction honors environment knobs:
-///   CLOVE_TELEMETRY=1         enable collection from process start
-///   CLOVE_TRACE_CAPACITY=N    trace ring size (default 65536 events)
-///   CLOVE_TRACE_CATEGORIES=a,b  category filter (e.g. "weight,topology")
+/// Compatibility facade over the thread's current telemetry Scope (see
+/// scope.hpp). Historically the Hub owned a process-wide registry and trace
+/// ring; those now live in Scopes so parallel sweep points can each collect
+/// in isolation. Existing call sites — `telemetry::hub().metrics()` at
+/// component construction, `hub().trace()` in tools — keep working unchanged:
+/// they simply resolve against whatever scope is current on the calling
+/// thread (the environment-configured process scope unless a ScopeGuard
+/// installed another).
 class Hub {
  public:
-  Hub();
+  [[nodiscard]] MetricsRegistry& metrics() { return current_scope().metrics(); }
+  [[nodiscard]] TraceLog& trace() { return current_scope().trace(); }
 
-  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
-  [[nodiscard]] TraceLog& trace() { return trace_; }
+  void set_enabled(bool on) { current_scope().set_enabled(on); }
+  [[nodiscard]] bool is_enabled() const { return current_scope().is_enabled(); }
 
-  void set_enabled(bool on) { detail::g_enabled = on; }
-  [[nodiscard]] bool is_enabled() const { return detail::g_enabled; }
-
-  /// Start-of-run housekeeping: zero metric values and clear the trace ring
-  /// so each experiment's snapshot reflects that experiment only. Resolved
-  /// cell pointers stay valid.
-  void begin_run();
-
- private:
-  MetricsRegistry metrics_;
-  TraceLog trace_;
+  /// Start-of-run housekeeping for the current scope: zero metric values and
+  /// clear the trace ring. Resolved cell pointers stay valid.
+  void begin_run() { current_scope().begin_run(); }
 };
 
 [[nodiscard]] Hub& hub();
@@ -51,11 +36,11 @@ class Hub {
 /// Record a structured trace event (and mirror it to stderr when the log
 /// level is at kTrace, so CLOVE_LOG_LEVEL=trace shows the same stream the
 /// ring captures). Call sites guard with `if (telemetry::tracing())` so the
-/// disabled path costs two global loads and no argument evaluation.
+/// disabled path costs a TLS load, a global load, and no argument evaluation.
 void trace(Category cat, sim::Time now, std::string node, std::string name,
            std::string detail = {}, double value = 0.0, std::uint64_t id = 0);
 
-/// True when trace events should be built at all: either the ring is
+/// True when trace events should be built at all: either the current scope is
 /// collecting or the stderr log level wants them.
 [[nodiscard]] inline bool tracing() {
   return enabled() ||

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace clove::telemetry {
+
+/// Construction-time knobs for a telemetry Scope. from_env() reads the same
+/// environment variables the process-wide hub always honored:
+///   CLOVE_TELEMETRY=1           enable collection
+///   CLOVE_TRACE_CAPACITY=N      trace ring size (default 65536 events)
+///   CLOVE_TRACE_CATEGORIES=a,b  category filter (e.g. "weight,topology")
+struct ScopeSettings {
+  bool enabled{false};
+  std::size_t trace_capacity{TraceLog::kDefaultCapacity};
+  unsigned trace_filter{kAllCategories};
+
+  [[nodiscard]] static ScopeSettings from_env();
+};
+
+/// One telemetry collection domain: a metrics registry plus a trace ring plus
+/// an on/off flag. Historically these were process-wide singletons; scoping
+/// them lets harness::ParallelRunner give every concurrently running sweep
+/// point its own isolated registry — no cross-thread sharing, no locks on the
+/// recording hot path — while single-threaded code keeps using the implicit
+/// process scope through the unchanged telemetry::hub() facade.
+///
+/// A Scope is not itself thread-safe; it is installed on exactly one thread
+/// at a time via ScopeGuard.
+class Scope {
+ public:
+  Scope() = default;
+  explicit Scope(const ScopeSettings& s) : enabled_(s.enabled) {
+    trace_.set_capacity(s.trace_capacity);
+    trace_.set_filter(s.trace_filter);
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] TraceLog& trace() { return trace_; }
+
+  /// Flip collection for this scope; when the scope is current on the calling
+  /// thread, the hot-path enabled() flag is updated too.
+  void set_enabled(bool on);
+  [[nodiscard]] bool is_enabled() const { return enabled_; }
+
+  /// Start-of-run housekeeping: zero metric values and clear the trace ring
+  /// so each experiment's snapshot reflects that experiment only. Resolved
+  /// cell pointers stay valid.
+  void begin_run() {
+    metrics_.reset_values();
+    trace_.clear();
+  }
+
+  /// The knobs a child scope should inherit to behave like this one.
+  [[nodiscard]] ScopeSettings settings() const {
+    return ScopeSettings{enabled_, trace_.capacity(), trace_.filter()};
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+  bool enabled_{false};
+};
+
+namespace detail {
+/// The scope telemetry records into on this thread (null until a ScopeGuard
+/// installs one or current_scope() falls back to the lazy process scope).
+extern thread_local Scope* tl_scope;
+/// Mirror of current scope's is_enabled(), kept thread-local so the hot-path
+/// guard stays a single TLS bool load.
+extern thread_local bool tl_enabled;
+}  // namespace detail
+
+/// The zero-cost-when-disabled guard: one thread-local bool load. Every
+/// hot-path recording site checks this before touching a cell or building an
+/// event.
+[[nodiscard]] inline bool enabled() { return detail::tl_enabled; }
+
+/// The scope telemetry resolves against on this thread. Threads with no
+/// installed scope (the main thread, plain tests) share a lazily created
+/// process-wide scope configured from the environment — the pre-scope
+/// singleton behavior, unchanged.
+[[nodiscard]] Scope& current_scope();
+
+/// RAII installer: makes `s` the calling thread's current scope for the
+/// guard's lifetime, restoring the previous scope (and its enabled flag) on
+/// destruction. Used by the parallel runner around each sweep point.
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(Scope& s)
+      : prev_(detail::tl_scope), prev_enabled_(detail::tl_enabled) {
+    detail::tl_scope = &s;
+    detail::tl_enabled = s.is_enabled();
+  }
+  ~ScopeGuard() {
+    detail::tl_scope = prev_;
+    detail::tl_enabled = prev_enabled_;
+  }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+ private:
+  Scope* prev_;
+  bool prev_enabled_;
+};
+
+}  // namespace clove::telemetry

@@ -9,25 +9,6 @@ namespace clove::transport {
 
 namespace {
 constexpr sim::Time kMaxRto = 60 * sim::kSecond;
-
-/// Process-wide transport counters. TCP endpoints are too numerous for
-/// per-sender label sets, so all senders share one set of cells; per-flow
-/// attribution comes from trace events instead.
-struct TcpCells {
-  telemetry::Counter* timeouts;
-  telemetry::Counter* fast_retransmits;
-  telemetry::Counter* ecn_reductions;
-  telemetry::Histogram* rtt_us;
-};
-
-TcpCells& tcp_cells() {
-  static TcpCells cells = [] {
-    auto& m = telemetry::hub().metrics();
-    return TcpCells{m.counter("tcp.timeouts"), m.counter("tcp.fast_retransmits"),
-                    m.counter("tcp.ecn_reductions"), m.histogram("tcp.rtt_us")};
-  }();
-  return cells;
-}
 }
 
 // ---------------------------------------------------------------------------
@@ -43,6 +24,9 @@ TcpSender::TcpSender(VmPort& port, net::FiveTuple tuple, TcpConfig cfg)
       cwnd_(static_cast<std::uint64_t>(cfg.initial_cwnd_pkts) * cfg.mss),
       ssthresh_(cfg.max_cwnd_bytes) {
   if (cfg_.dctcp) cfg_.ecn = true;
+  auto& m = telemetry::hub().metrics();
+  cells_ = Cells{m.counter("tcp.timeouts"), m.counter("tcp.fast_retransmits"),
+                 m.counter("tcp.ecn_reductions"), m.histogram("tcp.rtt_us")};
 }
 
 void TcpSender::write(std::uint64_t bytes, Completion done) {
@@ -122,7 +106,7 @@ void TcpSender::on_tlp() {
 
 void TcpSender::rtt_sample(sim::Time m) {
   if (telemetry::enabled()) {
-    tcp_cells().rtt_us->observe(static_cast<double>(m) / sim::kMicrosecond);
+    cells_.rtt_us->observe(static_cast<double>(m) / sim::kMicrosecond);
   }
   if (srtt_ == 0) {
     srtt_ = m;
@@ -155,7 +139,7 @@ void TcpSender::try_send() {
 
 void TcpSender::send_segment(std::uint64_t seq, std::uint32_t len,
                              bool retransmit) {
-  auto pkt = net::make_packet();
+  auto pkt = net::make_packet(port_.simulator());
   pkt->inner = tuple_;
   pkt->tcp.seq = seq;
   pkt->tcp.ack = 0;
@@ -250,7 +234,7 @@ std::pair<std::uint64_t, std::uint32_t> TcpSender::next_hole() const {
 
 void TcpSender::enter_recovery_sack() {
   ++stats_.fast_retransmits;
-  if (telemetry::enabled()) tcp_cells().fast_retransmits->add();
+  if (telemetry::enabled()) cells_.fast_retransmits->add();
   if (telemetry::tracing()) {
     telemetry::trace(telemetry::Category::kTcp, port_.simulator().now(),
                      tuple_.to_string(), "tcp.fast_retransmit", "sack",
@@ -318,7 +302,7 @@ void TcpSender::ecn_reduce() {
   if (snd_una_ < ecn_reduce_until_) return;
   ecn_reduce_until_ = snd_nxt_;
   ++stats_.ecn_reductions;
-  if (telemetry::enabled()) tcp_cells().ecn_reductions->add();
+  if (telemetry::enabled()) cells_.ecn_reductions->add();
   cwr_pending_ = true;
   std::uint64_t new_cwnd;
   if (cfg_.dctcp) {
@@ -459,7 +443,7 @@ void TcpSender::handle_dupack() {
   }
   if (dupacks_ >= cfg_.dupack_threshold) {
     ++stats_.fast_retransmits;
-    if (telemetry::enabled()) tcp_cells().fast_retransmits->add();
+    if (telemetry::enabled()) cells_.fast_retransmits->add();
     if (telemetry::tracing()) {
       telemetry::trace(telemetry::Category::kTcp, port_.simulator().now(),
                        tuple_.to_string(), "tcp.fast_retransmit", "dupack",
@@ -481,7 +465,7 @@ void TcpSender::handle_dupack() {
 void TcpSender::on_rto() {
   if (snd_una_ >= snd_nxt_) return;  // nothing outstanding
   ++stats_.timeouts;
-  if (telemetry::enabled()) tcp_cells().timeouts->add();
+  if (telemetry::enabled()) cells_.timeouts->add();
   if (telemetry::tracing()) {
     telemetry::trace(telemetry::Category::kTcp, port_.simulator().now(),
                      tuple_.to_string(), "tcp.timeout",
@@ -572,7 +556,7 @@ void TcpReceiver::send_ack(bool force) {
 void TcpReceiver::do_send_ack() {
   delack_timer_.cancel();
   unacked_segments_ = 0;
-  auto ack = net::make_packet();
+  auto ack = net::make_packet(port_.simulator());
   ack->inner = reverse_tuple_;
   ack->tcp.flags.ack = true;
   ack->tcp.ack = rcv_nxt_;

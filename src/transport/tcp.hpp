@@ -10,6 +10,11 @@
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 
+namespace clove::telemetry {
+class Counter;
+class Histogram;
+}  // namespace clove::telemetry
+
 namespace clove::transport {
 
 /// Guest-VM TCP tuning knobs. Defaults model an untuned Linux stack of the
@@ -163,6 +168,20 @@ class TcpSender : public TcpEndpoint {
   sim::Time rttvar_{0};
 
   TcpSenderStats stats_;
+
+  // Transport counters, resolved once at construction against the telemetry
+  // scope current on the constructing thread. Senders are too numerous for
+  // per-sender label sets, so every sender in a scope shares the same cells;
+  // per-flow attribution comes from trace events instead. A member (not a
+  // function-local static) so each parallel sweep point's senders bind to
+  // that point's own scope.
+  struct Cells {
+    telemetry::Counter* timeouts;
+    telemetry::Counter* fast_retransmits;
+    telemetry::Counter* ecn_reductions;
+    telemetry::Histogram* rtt_us;
+  };
+  Cells cells_;
 };
 
 /// One-directional TCP receiver: cumulative ACKs, out-of-order reassembly,

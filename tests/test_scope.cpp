@@ -1,0 +1,145 @@
+// Tests for telemetry scoping: the thread-local current scope, ScopeGuard
+// nesting, the enabled() hot-path flag, and the hub facade's delegation.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "telemetry/hub.hpp"
+#include "telemetry/scope.hpp"
+
+namespace clove::telemetry {
+namespace {
+
+TEST(Scope, GuardInstallsAndRestores) {
+  Scope& before = current_scope();
+  Scope inner;
+  {
+    ScopeGuard guard(inner);
+    EXPECT_EQ(&current_scope(), &inner);
+  }
+  EXPECT_EQ(&current_scope(), &before);
+}
+
+TEST(Scope, GuardsNest) {
+  Scope a;
+  Scope b;
+  ScopeGuard ga(a);
+  {
+    ScopeGuard gb(b);
+    EXPECT_EQ(&current_scope(), &b);
+  }
+  EXPECT_EQ(&current_scope(), &a);
+}
+
+TEST(Scope, EnabledFlagTracksCurrentScope) {
+  Scope on{ScopeSettings{true, TraceLog::kDefaultCapacity, kAllCategories}};
+  Scope off;
+  {
+    ScopeGuard g(on);
+    EXPECT_TRUE(enabled());
+    {
+      ScopeGuard g2(off);
+      EXPECT_FALSE(enabled());
+    }
+    EXPECT_TRUE(enabled());
+  }
+}
+
+TEST(Scope, SetEnabledUpdatesHotPathFlagWhenCurrent) {
+  Scope s;
+  ScopeGuard g(s);
+  EXPECT_FALSE(enabled());
+  s.set_enabled(true);
+  EXPECT_TRUE(enabled());
+  s.set_enabled(false);
+  EXPECT_FALSE(enabled());
+}
+
+TEST(Scope, MetricsAreIsolatedPerScope) {
+  Scope a;
+  Scope b;
+  {
+    ScopeGuard g(a);
+    hub().metrics().counter("scope.test")->add(3);
+  }
+  {
+    ScopeGuard g(b);
+    auto* c = hub().metrics().counter("scope.test");
+    EXPECT_EQ(c->value(), 0u) << "scopes must not share registries";
+  }
+  {
+    ScopeGuard g(a);
+    EXPECT_EQ(hub().metrics().counter("scope.test")->value(), 3u);
+  }
+}
+
+TEST(Scope, SettingsRoundTripToChildScopes) {
+  ScopeSettings s;
+  s.enabled = true;
+  s.trace_capacity = 128;
+  s.trace_filter = static_cast<unsigned>(Category::kWeight);
+  Scope parent{s};
+  const ScopeSettings inherited = parent.settings();
+  EXPECT_TRUE(inherited.enabled);
+  EXPECT_EQ(inherited.trace_capacity, 128u);
+  EXPECT_EQ(inherited.trace_filter, static_cast<unsigned>(Category::kWeight));
+  Scope child{inherited};
+  EXPECT_TRUE(child.is_enabled());
+  EXPECT_EQ(child.trace().capacity(), 128u);
+  EXPECT_EQ(child.trace().filter(), static_cast<unsigned>(Category::kWeight));
+}
+
+TEST(Scope, TraceRecordsIntoCurrentScopeOnly) {
+  Scope a{ScopeSettings{true, 64, kAllCategories}};
+  Scope b{ScopeSettings{true, 64, kAllCategories}};
+  {
+    ScopeGuard g(a);
+    trace(Category::kWeight, 1, "node", "event.a");
+  }
+  {
+    ScopeGuard g(b);
+    trace(Category::kWeight, 2, "node", "event.b");
+    EXPECT_EQ(hub().trace().size(), 1u);
+    EXPECT_EQ(hub().trace().events()[0]->name, "event.b");
+  }
+  {
+    ScopeGuard g(a);
+    EXPECT_EQ(hub().trace().size(), 1u);
+    EXPECT_EQ(hub().trace().events()[0]->name, "event.a");
+  }
+}
+
+TEST(Scope, BeginRunClearsValuesButKeepsCells) {
+  Scope s;
+  ScopeGuard g(s);
+  auto* c = hub().metrics().counter("scope.begin_run");
+  c->add(5);
+  hub().begin_run();
+  EXPECT_EQ(c->value(), 0u);  // same cell, zeroed
+  EXPECT_EQ(hub().metrics().counter("scope.begin_run"), c);
+}
+
+TEST(Scope, EachThreadFallsBackToTheProcessScope) {
+  // Threads with no installed scope share the lazily created process scope.
+  Scope* main_scope = &current_scope();
+  Scope* seen = nullptr;
+  std::thread t([&seen] { seen = &current_scope(); });
+  t.join();
+  EXPECT_EQ(seen, main_scope);
+}
+
+TEST(Scope, InstalledScopeIsThreadLocal) {
+  // A scope installed on one thread must not leak to another.
+  Scope inner;
+  ScopeGuard g(inner);
+  Scope* other_thread_scope = nullptr;
+  std::thread t([&other_thread_scope] {
+    other_thread_scope = &current_scope();
+  });
+  t.join();
+  EXPECT_NE(other_thread_scope, &inner);
+}
+
+}  // namespace
+}  // namespace clove::telemetry

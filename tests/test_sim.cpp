@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -327,6 +329,186 @@ TEST(Timer, CanRearmFromCallback) {
   sim.run();
   EXPECT_EQ(fired, 3);
   EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Timer, DeadlineReflectsPendingFiring) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  EXPECT_EQ(t.deadline(), 0);
+  t.schedule_in(25);
+  EXPECT_EQ(t.deadline(), 25);
+}
+
+// Pins the fix for a stale-deadline bug: cancel() (and firing) used to leave
+// deadline() reporting the old absolute time.
+TEST(Timer, DeadlineClearsOnCancelAndFire) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  t.schedule_in(25);
+  t.cancel();
+  EXPECT_FALSE(t.pending());
+  EXPECT_EQ(t.deadline(), 0);
+
+  t.schedule_in(40);
+  EXPECT_EQ(t.deadline(), 40);
+  sim.run();
+  EXPECT_FALSE(t.pending());
+  EXPECT_EQ(t.deadline(), 0);
+}
+
+// --- live-count and slab behavior of the EventQueue ------------------------
+
+// Pins the fix for size() counting lazily-cancelled events: the heap entry
+// lingers until it surfaces, but size()/empty() must reflect live events.
+TEST(EventQueue, SizeExcludesCancelled) {
+  EventQueue q;
+  auto a = q.schedule(10, [] {});
+  auto b = q.schedule(20, [] {});
+  q.schedule(30, [] {});
+  EXPECT_EQ(q.size(), 3u);
+  q.cancel(b);
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.run_next();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_in(10, [] {});
+  auto id = sim.schedule_in(20, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(EventQueue, CancelledCallbackDestroyedEagerly) {
+  // Cancelling must release captured resources immediately, not when the
+  // heap entry eventually surfaces.
+  EventQueue q;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  auto id = q.schedule(10, [token = std::move(token)] { (void)*token; });
+  EXPECT_FALSE(watch.expired());
+  q.cancel(id);
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueue, SlabSlotsAreRecycled) {
+  // Draining and refilling must reuse slots, not grow the slab: the high
+  // watermark tracks peak concurrency only.
+  EventQueue q;
+  for (int round = 0; round < 100; ++round) {
+    q.schedule(round * 10 + 1, [] {});
+    q.schedule(round * 10 + 2, [] {});
+    q.run_next();
+    q.run_next();
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_LE(q.slab_capacity(), 2u);
+}
+
+TEST(EventQueue, StaleCancelAfterSlotReuseIsNoop) {
+  EventQueue q;
+  int fired = 0;
+  auto old_id = q.schedule(10, [] {});
+  q.run_next();  // slot now free
+  auto new_id = q.schedule(20, [&] { ++fired; });
+  ASSERT_EQ(new_id.slot, old_id.slot);  // slot was recycled
+  q.cancel(old_id);                     // stale handle: must not kill new event
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelledEntriesDoNotBlockSkim) {
+  // A cancelled event in front of live ones must not affect next_time().
+  EventQueue q;
+  auto a = q.schedule(5, [] {});
+  int fired = 0;
+  q.schedule(10, [&] { ++fired; });
+  q.cancel(a);
+  EXPECT_EQ(q.next_time(), 10);
+  EXPECT_EQ(q.run_next(), 10);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, MoveOnlyCaptures) {
+  // SmallFn accepts move-only captures directly (std::function required a
+  // copyable shared_ptr holder).
+  EventQueue q;
+  auto owned = std::make_unique<int>(11);
+  int seen = 0;
+  q.schedule(1, [&seen, owned = std::move(owned)] { seen = *owned; });
+  q.run_next();
+  EXPECT_EQ(seen, 11);
+}
+
+// --- SmallFn ---------------------------------------------------------------
+
+TEST(SmallFn, SmallCapturesStayInline) {
+  int x = 0;
+  SmallFn f([&x] { ++x; });
+  EXPECT_TRUE(f.is_inline());
+  f();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(SmallFn, OversizedCapturesFallBackToHeap) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kInlineSize
+  big[3] = 9;
+  std::uint64_t seen = 0;
+  SmallFn f([&seen, big] { seen = big[3]; });
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(seen, 9u);
+}
+
+TEST(SmallFn, MoveTransfersTargetAndOwnership) {
+  auto token = std::make_shared<int>(3);
+  std::weak_ptr<int> watch = token;
+  int calls = 0;
+  SmallFn a([&calls, token = std::move(token)] { ++calls; });
+  SmallFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(calls, 1);
+  b = SmallFn{};
+  EXPECT_TRUE(watch.expired());  // destroying the fn released the capture
+}
+
+TEST(SmallFn, PacketSizedCaptureStaysInline) {
+  // The datapath's common event shape — a `this` pointer plus a PacketPtr —
+  // must fit the inline buffer or the zero-allocation claim breaks.
+  struct Capture {
+    void* self;
+    std::unique_ptr<int, void (*)(int*)> ptr;
+    std::uint64_t extra;
+    void operator()() const {}
+  };
+  static_assert(sizeof(Capture) <= SmallFn::kInlineSize);
+  SmallFn f(Capture{nullptr, {nullptr, [](int*) {}}, 0});
+  EXPECT_TRUE(f.is_inline());
+}
+
+// --- Simulator extension slot ----------------------------------------------
+
+TEST(Simulator, ExtensionSlotOwnsAttachedState) {
+  static int deletions = 0;
+  deletions = 0;
+  {
+    Simulator sim;
+    EXPECT_EQ(sim.extension(), nullptr);
+    sim.set_extension(new int(5), [](void* p) {
+      ++deletions;
+      delete static_cast<int*>(p);
+    });
+    EXPECT_EQ(*static_cast<int*>(sim.extension()), 5);
+  }
+  EXPECT_EQ(deletions, 1);
 }
 
 }  // namespace
