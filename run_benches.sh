@@ -1,10 +1,15 @@
 #!/bin/sh
 # Regenerates every paper figure/table; see README.md for scale knobs.
 #
-# Set CLOVE_JSON_OUT=<dir> to also emit one machine-readable JSON artifact
-# per bench (swept points, fabric counters, telemetry digest) into <dir>;
-# bench_micro_datapath contributes BENCH_micro.json (ns/op, events/sec and
-# allocs/event for the datapath hot loops — the perf baseline).
+# Each bench also emits one machine-readable JSON artifact (swept points,
+# fabric counters, telemetry digest). Artifacts land in CLOVE_JSON_OUT,
+# which defaults to the repo root (this script's directory) so the committed
+# BENCH_*.json perf baselines are refreshed in place by a plain
+# ./run_benches.sh; bench_micro_datapath contributes BENCH_micro.json and
+# bench_fabric_forwarding BENCH_fabric.json (ns/op, events/sec and
+# allocs/event for the datapath hot loops — the perf baselines
+# scripts/bench_check.py compares CI runs against). Set CLOVE_JSON_OUT=<dir>
+# to redirect them elsewhere, or CLOVE_JSON_OUT="" to skip JSON output.
 #
 # Sweep points run in parallel across CLOVE_THREADS worker threads (default:
 # all hardware threads). Results are bit-identical for any thread count;
@@ -14,12 +19,16 @@
 : "${CLOVE_SEEDS:=1}"
 export CLOVE_JOBS CLOVE_CONNS CLOVE_SEEDS
 [ -n "${CLOVE_THREADS:-}" ] && export CLOVE_THREADS
-if [ -n "${CLOVE_JSON_OUT:-}" ]; then
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+if [ -z "${CLOVE_JSON_OUT+set}" ]; then
+  CLOVE_JSON_OUT=$repo_root
+fi
+if [ -n "$CLOVE_JSON_OUT" ]; then
   mkdir -p "$CLOVE_JSON_OUT"
   export CLOVE_JSON_OUT
   echo "### JSON artifacts -> $CLOVE_JSON_OUT"
 fi
-for b in build/bench/bench_*; do
+for b in "$repo_root"/build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "### $b"
   "$b"

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON artifact against a committed baseline.
+
+Usage: bench_check.py BASELINE.json CURRENT.json
+
+Two families of checks over the flat `values` array each bench artifact
+carries (stdlib only — this runs in CI before anything is installed):
+
+* Allocation counters (``*.allocs_per_event`` / ``*.allocs_per_pkt``): the
+  current value must not exceed baseline + ALLOC_SLACK. Steady-state pooled
+  paths are pinned at (effectively) zero while the deliberately heap-backed
+  comparison rows (``BM_*_Heap``, baseline == 1) stay allowed at 1. The
+  small absolute slack tolerates rare amortized table maintenance (FlatMap
+  tombstone rebuilds, ring growth) that is not a leak of per-packet
+  allocations.
+
+* Throughput (``*_per_sec``) and latency (``*.ns_per_*``): fail on a
+  regression beyond TOLERANCE (default 25%, override with
+  ``BENCH_CHECK_TOLERANCE=0.40`` etc. for noisy runners). Throughput must
+  stay above baseline * (1 - tol); latency below baseline / (1 - tol).
+
+Metrics present in only one of the two files are reported but non-fatal:
+benches gain and lose counters across PRs, and the baseline is refreshed by
+re-running ./run_benches.sh (artifacts land at the repo root by default).
+
+Exit status: 0 = all checks pass, 1 = at least one regression, 2 = usage or
+parse error.
+"""
+
+import json
+import os
+import sys
+
+ALLOC_SLACK = 0.01  # absolute allocs-per-event slack for amortized housekeeping
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_values(path):
+    with open(path) as f:
+        doc = json.load(f)
+    vals = {}
+    for entry in doc.get("values", []):
+        name, value = entry.get("name"), entry.get("value")
+        if isinstance(name, str) and isinstance(value, (int, float)):
+            vals[name] = float(value)
+    if not vals:
+        raise ValueError(f"{path}: no 'values' entries to check")
+    return vals
+
+
+def is_alloc(name):
+    return name.endswith(".allocs_per_event") or name.endswith(".allocs_per_pkt")
+
+
+def is_throughput(name):
+    return name.endswith("_per_sec")
+
+
+def is_latency(name):
+    tail = name.rsplit(".", 1)[-1]
+    return tail.startswith("ns_per_")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    tol = float(os.environ.get("BENCH_CHECK_TOLERANCE", DEFAULT_TOLERANCE))
+    try:
+        base = load_values(argv[1])
+        cur = load_values(argv[2])
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_check: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    checked = 0
+    for name in sorted(set(base) | set(cur)):
+        if name not in base or name not in cur:
+            side = "baseline" if name not in cur else "current"
+            print(f"  [skip] {name}: only in {side}")
+            continue
+        b, c = base[name], cur[name]
+        if is_alloc(name):
+            checked += 1
+            limit = b + ALLOC_SLACK
+            status = "FAIL" if c > limit else "ok"
+            print(f"  [{status}] {name}: {c:.6g} (baseline {b:.6g}, limit {limit:.6g})")
+            if c > limit:
+                failures.append(name)
+        elif is_throughput(name):
+            checked += 1
+            floor = b * (1.0 - tol)
+            status = "FAIL" if c < floor else "ok"
+            print(f"  [{status}] {name}: {c:.6g} (baseline {b:.6g}, floor {floor:.6g})")
+            if c < floor:
+                failures.append(name)
+        elif is_latency(name):
+            checked += 1
+            ceil = b / (1.0 - tol)
+            status = "FAIL" if c > ceil else "ok"
+            print(f"  [{status}] {name}: {c:.6g} (baseline {b:.6g}, ceiling {ceil:.6g})")
+            if c > ceil:
+                failures.append(name)
+        # Other values (counters like pool_allocated) are informational.
+
+    if checked == 0:
+        print("bench_check: no comparable perf metrics found", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"bench_check: {len(failures)}/{checked} checks FAILED: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print(f"bench_check: all {checked} checks passed (tolerance {tol:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

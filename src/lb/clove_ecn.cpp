@@ -119,7 +119,7 @@ std::uint16_t CloveEcnPolicy::pick_port(const net::Packet& inner,
     // random ports (Edge-Flowlet behaviour).
     if (!t.new_flowlet) return t.port;
     const std::uint16_t port = hash_port(inner.inner, t.flowlet_id);
-    flowlets_.set_port(inner.inner, port);
+    t.set_port(port);
     return port;
   }
   DstState& st = it->second;
@@ -133,7 +133,7 @@ std::uint16_t CloveEcnPolicy::pick_port(const net::Packet& inner,
   }
   const std::size_t idx = wrr_pick(st);
   const std::uint16_t port = st.paths[idx].info.port;
-  flowlets_.set_port(inner.inner, port);
+  t.set_port(port);
   if (t.new_flowlet && telemetry::tracing()) {
     telemetry::trace(telemetry::Category::kFlowlet, now, owner(),
                      "clove.flowlet_new", "dst " + std::to_string(dst),

@@ -39,7 +39,7 @@ class CloveIntPolicy : public Policy {
           overlay::kEphemeralBase +
           net::hash_tuple(inner.inner, 0x117u ^ t.flowlet_id) %
               overlay::kEphemeralCount);
-      flowlets_.set_port(inner.inner, port);
+      t.set_port(port);
       return port;
     }
     DstState& st = it->second;
@@ -64,7 +64,7 @@ class CloveIntPolicy : public Policy {
       }
     }
     const std::uint16_t port = st.paths[chosen].info.port;
-    flowlets_.set_port(inner.inner, port);
+    t.set_port(port);
     return port;
   }
 

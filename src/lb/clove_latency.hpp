@@ -37,7 +37,7 @@ class CloveLatencyPolicy : public Policy {
           overlay::kEphemeralBase +
           net::hash_tuple(inner.inner, 0x1a7u ^ t.flowlet_id) %
               overlay::kEphemeralCount);
-      flowlets_.set_port(inner.inner, port);
+      t.set_port(port);
       return port;
     }
     DstState& st = it->second;
@@ -61,7 +61,7 @@ class CloveLatencyPolicy : public Policy {
       }
     }
     const std::uint16_t port = st.paths[chosen].info.port;
-    flowlets_.set_port(inner.inner, port);
+    t.set_port(port);
     return port;
   }
 

@@ -25,7 +25,7 @@ class EdgeFlowletPolicy : public Policy {
         overlay::kEphemeralBase +
         net::hash_tuple(inner.inner, 0xF10Du ^ t.flowlet_id) %
             overlay::kEphemeralCount);
-    flowlets_.set_port(inner.inner, port);
+    t.set_port(port);
     return port;
   }
 

@@ -11,15 +11,24 @@ void CongaLeafSwitch::configure_fabric(int leaf_index,
                                        std::unordered_map<IpAddr, int> host_leaf) {
   leaf_index_ = leaf_index;
   uplink_ports_ = std::move(uplink_ports);
-  host_leaf_ = std::move(host_leaf);
+  // Densify the host->leaf mapping and size the feedback round-robin array
+  // up front so the per-packet path never allocates.
+  int max_leaf = leaf_index;
+  host_leaf_.clear();
+  for (const auto& [ip, leaf] : host_leaf) {
+    if (ip >= host_leaf_.size()) host_leaf_.resize(ip + 1, -1);
+    host_leaf_[ip] = leaf;
+    max_leaf = std::max(max_leaf, leaf);
+  }
+  fb_rr_.assign(static_cast<std::size_t>(max_leaf) + 1, 0);
 }
 
 std::uint8_t CongaLeafSwitch::read_metric(const MetricTable& t,
                                           std::uint64_t key) const {
-  auto it = t.find(key);
-  if (it == t.end()) return 0;
-  if (sim_.now() - it->second.updated > cfg_.table_aging) return 0;
-  return it->second.ce;
+  const Metric* m = t.find(key);
+  if (m == nullptr) return 0;
+  if (sim_.now() - m->updated > cfg_.table_aging) return 0;
+  return m->ce;
 }
 
 std::uint8_t CongaLeafSwitch::congestion_to(int dst_leaf, int tag) const {
@@ -30,7 +39,7 @@ std::uint8_t CongaLeafSwitch::congestion_from(int src_leaf, int tag) const {
 }
 
 int CongaLeafSwitch::pick_uplink_tag(int dst_leaf,
-                                     const std::vector<int>& live_ports) {
+                                     const PortSet& live_ports) {
   int best_tag = -1;
   int best_metric = 256;
   int n_best = 0;
@@ -59,8 +68,8 @@ int CongaLeafSwitch::pick_uplink_tag(int dst_leaf,
   return best_tag;
 }
 
-int CongaLeafSwitch::select_port(const Packet& pkt,
-                                 const std::vector<int>& ports, int in_port) {
+int CongaLeafSwitch::select_port(const Packet& pkt, const PortSet& ports,
+                                 int in_port) {
   const int dst_leaf = leaf_of(pkt.wire_dst());
   const bool entering_fabric =
       leaf_index_ >= 0 && dst_leaf >= 0 && dst_leaf != leaf_index_ &&
@@ -68,13 +77,13 @@ int CongaLeafSwitch::select_port(const Packet& pkt,
   if (!entering_fabric) {
     return Switch::select_port(pkt, ports, in_port);
   }
-  const std::uint64_t key = hash_tuple(pkt.wire_tuple(), 0xC09A);
+  const std::uint64_t key = salted_hash(pkt.wire_hash(), 0xC09A);
   auto dec = flowlets_.touch(key, sim_.now());
   int tag;
   if (dec.new_flowlet) {
     tag = pick_uplink_tag(dst_leaf, ports);
     if (tag < 0) return Switch::select_port(pkt, ports, in_port);
-    flowlets_.set_value(key, static_cast<std::uint32_t>(tag));
+    dec.set_value(static_cast<std::uint32_t>(tag));
     if (telemetry::tracing()) {
       telemetry::trace(telemetry::Category::kPath, sim_.now(), name(),
                        "conga.flowlet_path",
@@ -88,7 +97,7 @@ int CongaLeafSwitch::select_port(const Packet& pkt,
       // The flowlet's uplink died; repick.
       tag = pick_uplink_tag(dst_leaf, ports);
       if (tag < 0) return Switch::select_port(pkt, ports, in_port);
-      flowlets_.set_value(key, static_cast<std::uint32_t>(tag));
+      dec.set_value(static_cast<std::uint32_t>(tag));
     }
   }
   return uplink_ports_[static_cast<std::size_t>(tag)];
@@ -125,8 +134,9 @@ void CongaLeafSwitch::on_forward(Packet& pkt, int egress_port, int in_port) {
       }
     }
     pkt.conga.ce = 0;
-    if (!uplink_ports_.empty()) {
-      std::uint8_t& rr = fb_rr_[dst_leaf];
+    if (!uplink_ports_.empty() &&
+        static_cast<std::size_t>(dst_leaf) < fb_rr_.size()) {
+      std::uint8_t& rr = fb_rr_[static_cast<std::size_t>(dst_leaf)];
       rr = static_cast<std::uint8_t>((rr + 1) % uplink_ports_.size());
       pkt.conga.fb_present = true;
       pkt.conga.fb_tag = rr;

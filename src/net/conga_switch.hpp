@@ -7,6 +7,7 @@
 #include "net/switch.hpp"
 #include "net/switch_flowlet.hpp"
 #include "sim/random.hpp"
+#include "util/flat_map.hpp"
 
 namespace clove::net {
 
@@ -50,7 +51,7 @@ class CongaLeafSwitch : public Switch {
   [[nodiscard]] std::uint8_t congestion_from(int src_leaf, int tag) const;
 
  protected:
-  int select_port(const Packet& pkt, const std::vector<int>& ports,
+  int select_port(const Packet& pkt, const PortSet& ports,
                   int in_port) override;
   void on_forward(Packet& pkt, int egress_port, int in_port) override;
 
@@ -59,7 +60,7 @@ class CongaLeafSwitch : public Switch {
     std::uint8_t ce{0};
     sim::Time updated{-1};
   };
-  using MetricTable = std::unordered_map<std::uint64_t, Metric>;
+  using MetricTable = util::FlatMap<std::uint64_t, Metric>;
   static std::uint64_t table_key(int leaf, int tag) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(leaf)) << 8) |
            static_cast<std::uint8_t>(tag);
@@ -73,22 +74,23 @@ class CongaLeafSwitch : public Switch {
     }
     return false;
   }
+  /// Host IPs are dense node ids, so the per-packet leaf lookup is a flat
+  /// array index instead of a hash probe.
   [[nodiscard]] int leaf_of(IpAddr ip) const {
-    auto it = host_leaf_.find(ip);
-    return it == host_leaf_.end() ? -1 : it->second;
+    return ip < host_leaf_.size() ? host_leaf_[ip] : -1;
   }
 
-  int pick_uplink_tag(int dst_leaf, const std::vector<int>& live_ports);
+  int pick_uplink_tag(int dst_leaf, const PortSet& live_ports);
 
   CongaConfig cfg_;
   int leaf_index_{-1};
   std::vector<int> uplink_ports_;
-  std::unordered_map<IpAddr, int> host_leaf_;
+  std::vector<int> host_leaf_;  ///< leaf index by host IP; -1 = not a host
 
   SwitchFlowletTable flowlets_;
   MetricTable to_leaf_;    ///< congestion-to-leaf (from feedback)
   MetricTable from_leaf_;  ///< congestion-from-leaf (measured on arrivals)
-  std::unordered_map<int, std::uint8_t> fb_rr_;  ///< feedback round-robin/leaf
+  std::vector<std::uint8_t> fb_rr_;  ///< feedback round-robin, by dst leaf
   sim::Rng rng_;
 };
 

@@ -22,11 +22,11 @@ class LetFlowSwitch : public Switch {
   void set_flowlet_gap(sim::Time gap) { flowlets_.set_gap(gap); }
 
  protected:
-  int select_port(const Packet& pkt, const std::vector<int>& ports,
+  int select_port(const Packet& pkt, const PortSet& ports,
                   int in_port) override {
     if (ports.size() == 1) return ports[0];
     (void)in_port;
-    const std::uint64_t key = hash_tuple(pkt.wire_tuple(), 0x1e7f);
+    const std::uint64_t key = salted_hash(pkt.wire_hash(), 0x1e7f);
     auto dec = flowlets_.touch(key, sim_.now());
     if (!dec.new_flowlet) {
       const int p = static_cast<int>(dec.value);
@@ -35,7 +35,7 @@ class LetFlowSwitch : public Switch {
       }
     }
     const int chosen = ports[rng_.uniform_int(ports.size())];
-    flowlets_.set_value(key, static_cast<std::uint32_t>(chosen));
+    dec.set_value(static_cast<std::uint32_t>(chosen));
     if (telemetry::tracing()) {
       telemetry::trace(telemetry::Category::kPath, sim_.now(), name(),
                        "letflow.flowlet_path", {}, static_cast<double>(chosen),

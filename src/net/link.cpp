@@ -73,9 +73,15 @@ void Link::start_tx() {
   busy_ = true;
   in_flight_ = std::move(queue_.front());
   queue_.pop_front();
-  queue_bytes_ -= in_flight_->wire_size();
-  const sim::Time tx = serialization_delay(in_flight_->wire_size());
-  sim_.schedule_in(tx, [this] { on_tx_done(); });
+  const std::int64_t wire = in_flight_->wire_size();
+  queue_bytes_ -= wire;
+  // Memoize the delay: wire sizes repeat (MTU data, bare ACKs), and the
+  // floating-point division in transmission_delay is per-packet hot.
+  if (wire != memo_bytes_) {
+    memo_bytes_ = wire;
+    memo_delay_ = serialization_delay(wire);
+  }
+  sim_.schedule_in(memo_delay_, [this] { on_tx_done(); });
 }
 
 void Link::on_tx_done() {
@@ -103,7 +109,11 @@ void Link::on_tx_done() {
   }
 
   propagating_.emplace_back(sim_.now() + cfg_.propagation, std::move(pkt));
-  sim_.schedule_in(cfg_.propagation, [this] { deliver_front(); });
+  if (!prop_wake_.valid()) {
+    // A pending wake is always at an earlier-or-equal deadline (per-link
+    // deadlines are monotone), so one outstanding wake per link suffices.
+    prop_wake_ = sim_.schedule_in(cfg_.propagation, [this] { deliver_front(); });
+  }
 
   if (!queue_.empty()) {
     start_tx();
@@ -113,17 +123,23 @@ void Link::on_tx_done() {
 }
 
 void Link::deliver_front() {
-  // Stale events (queue flushed by a failure, or a newer packet's event
-  // arriving before its deadline) are detected via the stored deadline.
-  if (propagating_.empty() || propagating_.front().first > sim_.now()) return;
-  PacketPtr pkt = std::move(propagating_.front().second);
-  propagating_.pop_front();
-  if (down_) {
-    ++stats_.drops_down;
-    if (telemetry::enabled()) cells_.drops_down->add();
-    return;
+  prop_wake_ = sim::EventId{};
+  // Drain every packet whose deadline has arrived (several packets can share
+  // a delivery instant), then re-arm a single wake for the new front.
+  while (!propagating_.empty() && propagating_.front().first <= sim_.now()) {
+    PacketPtr pkt = std::move(propagating_.front().second);
+    propagating_.pop_front();
+    if (down_) {
+      ++stats_.drops_down;
+      if (telemetry::enabled()) cells_.drops_down->add();
+      continue;
+    }
+    dst_->receive(std::move(pkt), dst_in_port_);
   }
-  dst_->receive(std::move(pkt), dst_in_port_);
+  if (!propagating_.empty()) {
+    prop_wake_ = sim_.schedule_at(propagating_.front().first,
+                                  [this] { deliver_front(); });
+  }
 }
 
 void Link::down() {
@@ -140,6 +156,10 @@ void Link::down() {
   queue_.clear();
   queue_bytes_ = 0;
   propagating_.clear();
+  if (prop_wake_.valid()) {
+    sim_.cancel(prop_wake_);
+    prop_wake_ = sim::EventId{};
+  }
   in_flight_.reset();
   busy_ = false;
 }

@@ -1,13 +1,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <utility>
 
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/dre.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/ring_deque.hpp"
 
 namespace clove::net {
 
@@ -91,13 +92,23 @@ class Link {
   int dst_in_port_;
   LinkConfig cfg_;
 
-  std::deque<PacketPtr> queue_;
+  // Ring-buffer FIFOs: a deque here would allocate/free a block every few
+  // dozen packets as elements cycle through; the rings go quiet once the
+  // queue-depth high-watermark is reached (see util::RingDeque).
+  util::RingDeque<PacketPtr> queue_;
   std::int64_t queue_bytes_{0};
   bool busy_{false};
   PacketPtr in_flight_;            ///< packet currently being serialized
-  /// Packets in the propagation pipe, with their delivery deadlines. The
-  /// deadline guards against stale delivery events after a down()/up() flush.
-  std::deque<std::pair<sim::Time, PacketPtr>> propagating_;
+  std::int64_t memo_bytes_{-1};    ///< last serialized wire size …
+  sim::Time memo_delay_{0};        ///< … and its cached serialization delay
+  /// Packets in the propagation pipe, with their delivery deadlines.
+  /// Deadlines are monotone (FIFO serialization + fixed propagation), so a
+  /// single outstanding wake event per link suffices: deliver_front() drains
+  /// every ripe packet and re-arms for the new front. This keeps the event
+  /// heap at O(links) entries instead of O(packets in flight), which shrinks
+  /// every heap sift in the simulation core.
+  util::RingDeque<std::pair<sim::Time, PacketPtr>> propagating_;
+  sim::EventId prop_wake_{};       ///< pending deliver_front wake, if any
   bool down_{false};
 
   telemetry::Dre dre_;

@@ -44,20 +44,4 @@ PacketPtr make_packet(sim::Simulator& sim) {
   return PacketPool::of(sim).acquire();
 }
 
-std::uint64_t hash_tuple(const FiveTuple& t, std::uint64_t salt) {
-  // SplitMix64 over the packed tuple fields, salted per switch so that
-  // different switches make independent ECMP decisions (as real hardware
-  // hash seeds do).
-  auto mix = [](std::uint64_t z) {
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  };
-  std::uint64_t h = salt ^ 0x9e3779b97f4a7c15ULL;
-  h = mix(h ^ (static_cast<std::uint64_t>(t.src_ip) << 32 | t.dst_ip));
-  h = mix(h ^ (static_cast<std::uint64_t>(t.src_port) << 16 | t.dst_port));
-  h = mix(h ^ static_cast<std::uint64_t>(t.proto));
-  return h;
-}
-
 }  // namespace clove::net

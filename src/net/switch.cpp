@@ -36,8 +36,8 @@ void Switch::receive(PacketPtr pkt, int in_port) {
 
 void Switch::forward(PacketPtr pkt, int in_port) {
   const IpAddr dst = pkt->wire_dst();
-  const std::vector<int>* ports = route(dst);
-  if (ports == nullptr || ports->empty()) {
+  const PortSet* ports = route(dst);
+  if (ports == nullptr) {
     ++stats_.no_route_drops;
     if (telemetry::enabled()) cells_.no_route_drops->add();
     if (telemetry::tracing()) {
@@ -54,10 +54,12 @@ void Switch::forward(PacketPtr pkt, int in_port) {
   port(egress)->enqueue(std::move(pkt));
 }
 
-int Switch::select_port(const Packet& pkt, const std::vector<int>& ports,
+int Switch::select_port(const Packet& pkt, const PortSet& ports,
                         int /*in_port*/) {
   if (ports.size() == 1) return ports[0];
-  return ports[hash_tuple(pkt.wire_tuple(), id()) % ports.size()];
+  // One finalizer round over the cached prehash — identical decision to
+  // hash_tuple(pkt.wire_tuple(), id()) but without re-mixing the tuple.
+  return ports[salted_hash(pkt.wire_hash(), id()) % ports.size()];
 }
 
 void Switch::on_forward(Packet& /*pkt*/, int /*egress_port*/, int /*in_port*/) {}

@@ -85,6 +85,10 @@ void Hypervisor::vm_send(net::PacketPtr pkt) {
     pkt->int_stack.enabled = policy_->wants_int();
     pkt->int_stack.count = 0;
   }
+  // The wire tuple is final for this traversal: compute the ECMP prehash
+  // once here and let every switch on the path salt-finalize it.
+  pkt->invalidate_wire_hash();
+  (void)pkt->wire_hash();
 
   attach_feedback(dst, *pkt);
   pkt->sent_at = sim_.now();  // NIC timestamp for one-way-delay telemetry
@@ -93,9 +97,9 @@ void Hypervisor::vm_send(net::PacketPtr pkt) {
 }
 
 void Hypervisor::attach_feedback(net::IpAddr peer, net::Packet& pkt) {
-  auto it = pending_fb_.find(peer);
-  if (it == pending_fb_.end()) return;
-  PeerFeedback& pf = it->second;
+  PeerFeedback* pfp = pending_fb_.find(peer);
+  if (pfp == nullptr) return;
+  PeerFeedback& pf = *pfp;
   if (pf.rr_order.empty()) return;
 
   // Round-robin across forward ports, relaying at most one port's state per
@@ -139,9 +143,9 @@ void Hypervisor::note_feedback(
     net::IpAddr peer, std::uint16_t port,
     const std::function<void(PendingFeedback&)>& update) {
   PeerFeedback& pf = pending_fb_[peer];
-  auto [it, inserted] = pf.ports.try_emplace(port);
+  auto [fb, inserted] = pf.ports.try_emplace(port);
   if (inserted) pf.rr_order.push_back(port);
-  update(it->second);
+  update(*fb);
 }
 
 // ---------------------------------------------------------------------------
@@ -229,12 +233,14 @@ void Hypervisor::handle_data(net::PacketPtr pkt) {
     }
     // Decapsulate. Outer CE is deliberately NOT copied to the inner header.
     pkt->encap = net::EncapHeader{};
+    pkt->invalidate_wire_hash();  // wire tuple is now the inner tuple
   } else {
     // Non-overlay mode (§7): restore the rewritten source port and process
     // the feedback that rode in TCP options.
     if (pkt->rewrite.rewritten) {
       pkt->inner.src_port = pkt->rewrite.orig_src_port;
       pkt->rewrite = net::RewriteInfo{};
+      pkt->invalidate_wire_hash();
     }
     peer = pkt->inner.src_ip;
     if (pkt->encap.feedback.present) {
@@ -280,8 +286,8 @@ void Hypervisor::handle_data(net::PacketPtr pkt) {
 
 void Hypervisor::deliver_to_vm(net::PacketPtr pkt) {
   const net::FiveTuple key = pkt->inner.reversed();
-  auto it = endpoints_.find(key);
-  if (it == endpoints_.end()) {
+  transport::TcpEndpoint** ep = endpoints_.find(key);
+  if (ep == nullptr) {
     if (pkt->payload == 0) {
       ++stats_.no_endpoint_drops;  // stray ACK for a finished endpoint
       return;
@@ -296,7 +302,7 @@ void Hypervisor::deliver_to_vm(net::PacketPtr pkt) {
     raw->on_packet(std::move(pkt));
     return;
   }
-  it->second->on_packet(std::move(pkt));
+  (*ep)->on_packet(std::move(pkt));
 }
 
 }  // namespace clove::overlay

@@ -2,7 +2,6 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "lb/policy.hpp"
@@ -12,6 +11,7 @@
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
 #include "transport/tcp.hpp"
+#include "util/flat_map.hpp"
 
 namespace clove::overlay {
 
@@ -92,7 +92,7 @@ class Hypervisor : public net::Node, public transport::VmPort {
     sim::Time last_relayed{-1};
   };
   struct PeerFeedback {
-    std::unordered_map<std::uint16_t, PendingFeedback> ports;
+    util::FlatMap<std::uint16_t, PendingFeedback> ports;
     std::vector<std::uint16_t> rr_order;  ///< round-robin relay order
     std::size_t rr_next{0};
   };
@@ -112,11 +112,17 @@ class Hypervisor : public net::Node, public transport::VmPort {
   std::unique_ptr<TracerouteDaemon> traceroute_;
   std::unique_ptr<ReorderBuffer> reorder_;
 
-  std::unordered_map<net::FiveTuple, transport::TcpEndpoint*,
-                     net::FiveTupleHash>
+  // Per-delivered-packet endpoint demux and per-ingress-packet feedback
+  // state live on open-addressing maps: one probe, no node allocations.
+  struct TupleHasher {
+    std::uint64_t operator()(const net::FiveTuple& t) const noexcept {
+      return net::tuple_prehash(t);
+    }
+  };
+  util::FlatMap<net::FiveTuple, transport::TcpEndpoint*, TupleHasher>
       endpoints_;
   std::vector<std::unique_ptr<transport::TcpReceiver>> owned_receivers_;
-  std::unordered_map<net::IpAddr, PeerFeedback> pending_fb_;
+  util::FlatMap<net::IpAddr, PeerFeedback> pending_fb_;
 
   HypervisorStats stats_;
 

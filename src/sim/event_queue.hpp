@@ -1,7 +1,7 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "sim/small_fn.hpp"
@@ -22,7 +22,7 @@ struct EventId {
 /// A time-ordered queue of callbacks. Ties are broken by insertion order so
 /// that runs are fully deterministic.
 ///
-/// Hot-loop layout: the binary heap orders small POD entries {time, seq,
+/// Hot-loop layout: a 4-ary heap orders small POD entries {time, seq,
 /// slot}; callbacks live in a slab of reusable nodes addressed by slot, so
 /// heap sifts move 24-byte PODs and the steady state performs zero heap
 /// allocations (SmallFn keeps capture-light callbacks inline, and drained
@@ -35,7 +35,9 @@ class EventQueue {
   using Callback = SmallFn;
 
   /// Schedule `cb` at absolute time `at`. Returns a handle for cancellation.
-  EventId schedule(Time at, Callback cb) {
+  /// Takes the callback by rvalue reference so it is moved exactly once, into
+  /// its slab node.
+  EventId schedule(Time at, Callback&& cb) {
     std::uint32_t slot;
     if (free_slots_.empty()) {
       slot = static_cast<std::uint32_t>(nodes_.size());
@@ -48,7 +50,7 @@ class EventQueue {
     n.cb = std::move(cb);
     n.seq = ++next_seq_;
     n.cancelled = false;
-    heap_.push(Entry{at, n.seq, slot});
+    heap_push(Entry{at, n.seq, slot});
     ++live_;
     return EventId{n.seq, slot};
   }
@@ -73,24 +75,37 @@ class EventQueue {
   /// Time of the next live event, or kTimeNever if none.
   [[nodiscard]] Time next_time() {
     skim();
-    return heap_.empty() ? kTimeNever : heap_.top().at;
+    return heap_.empty() ? kTimeNever : heap_.front().at;
   }
 
   /// Pop and run the next live event; returns its time, or kTimeNever when
   /// the queue is empty.
   Time run_next() {
+    Time at = kTimeNever;
+    run_next_until(kTimeNever, &at);
+    return at;
+  }
+
+  /// Fused peek-and-run for the simulator's hot loop: one skim and one heap
+  /// top read decide both "is there an event" and "is it due". When the next
+  /// event's time is <= `until`, stores that time into `*now` (the simulation
+  /// clock must already read the event's time when the callback runs) and
+  /// runs it. Returns false — without touching `*now` — when the queue is
+  /// empty or the next event lies beyond `until`.
+  bool run_next_until(Time until, Time* now) {
     skim();
-    if (heap_.empty()) return kTimeNever;
-    const Entry e = heap_.top();
-    heap_.pop();
+    if (heap_.empty() || heap_.front().at > until) return false;
+    const Entry e = heap_.front();
+    heap_pop();
     // Move the callback out and recycle the slot BEFORE invoking: the
     // callback may schedule new events (possibly growing the slab), and the
     // freed slot is immediately reusable.
     Callback cb = std::move(nodes_[e.slot].cb);
     release(e.slot);
     --live_;
+    *now = e.at;
     cb();
-    return e.at;
+    return true;
   }
 
   /// Nodes ever allocated in the slab — a high-watermark of concurrently
@@ -102,11 +117,15 @@ class EventQueue {
     Time at;
     std::uint64_t seq;
     std::uint32_t slot;
-    bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
   };
+
+  /// Strict ordering: earlier time first, then insertion order. Identical to
+  /// the comparator the old std::priority_queue used, so run order — and
+  /// every figure produced by the simulator — is unchanged.
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
   struct Node {
     Callback cb;
@@ -126,13 +145,49 @@ class EventQueue {
   /// entry's slot is recycled only here or in run_next(), so entry.seq ==
   /// node.seq until the entry is popped.
   void skim() {
-    while (!heap_.empty() && nodes_[heap_.top().slot].cancelled) {
-      release(heap_.top().slot);
-      heap_.pop();
+    while (!heap_.empty() && nodes_[heap_.front().slot].cancelled) {
+      release(heap_.front().slot);
+      heap_pop();
     }
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // The heap is 4-ary rather than binary: half the sift depth per push/pop,
+  // and the four children of a node share a cache line (24-byte entries), so
+  // the min-of-children scan in heap_pop costs one line fetch per level.
+  void heap_push(Entry e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void heap_pop() {
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = (i << 2) + 1;
+      if (first_child >= n) break;
+      const std::size_t end = std::min(first_child + 4, n);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+
+  std::vector<Entry> heap_;
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_{0};

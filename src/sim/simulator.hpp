@@ -41,13 +41,7 @@ class Simulator {
   /// `until` still run). Returns the number of events processed.
   std::uint64_t run(Time until = kTimeNever) {
     std::uint64_t n = 0;
-    while (!stopped_) {
-      Time t = queue_.next_time();
-      if (t == kTimeNever || t > until) break;
-      now_ = t;
-      queue_.run_next();
-      ++n;
-    }
+    while (!stopped_ && queue_.run_next_until(until, &now_)) ++n;
     events_processed_ += n;
     return n;
   }

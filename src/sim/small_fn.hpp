@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -65,8 +66,12 @@ class SmallFn {
   struct Ops {
     void (*invoke)(void*);
     /// Move-construct into `dst` and destroy `src` (inline targets only;
-    /// heap targets relocate by pointer swap).
+    /// heap targets relocate by pointer swap). nullptr means the target is
+    /// trivially copyable and relocates as a raw buffer copy — the common
+    /// case for the datapath's `[this]` lambdas, where it removes an
+    /// unpredictable indirect call from every event move.
     void (*relocate)(void* dst, void* src);
+    /// nullptr means trivially destructible: destruction is a no-op.
     void (*destroy)(void*);
   };
 
@@ -78,7 +83,9 @@ class SmallFn {
       static_cast<Fn*>(src)->~Fn();
     }
     static void destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
-    static constexpr Ops ops{&invoke, &relocate, &destroy};
+    static constexpr Ops ops{
+        &invoke, std::is_trivially_copyable_v<Fn> ? nullptr : &relocate,
+        std::is_trivially_destructible_v<Fn> ? nullptr : &destroy};
   };
 
   template <typename Fn>
@@ -93,13 +100,21 @@ class SmallFn {
   void move_from(SmallFn& o) noexcept {
     ops_ = o.ops_;
     heap_ = o.heap_;
-    if (ops_ != nullptr && heap_ == nullptr) ops_->relocate(buf_, o.buf_);
+    if (ops_ != nullptr && heap_ == nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(buf_, o.buf_);
+      } else {
+        // Trivially copyable target: a fixed-size copy beats an indirect
+        // call (copying slack beyond sizeof(Fn) is harmless).
+        std::memcpy(buf_, o.buf_, kInlineSize);
+      }
+    }
     o.ops_ = nullptr;
     o.heap_ = nullptr;
   }
 
   void reset() noexcept {
-    if (ops_ != nullptr) ops_->destroy(target());
+    if (ops_ != nullptr && ops_->destroy != nullptr) ops_->destroy(target());
     ops_ = nullptr;
     heap_ = nullptr;
   }

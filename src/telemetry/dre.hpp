@@ -58,7 +58,9 @@ class Dre {
 
  private:
   void decay_to(sim::Time now) const {
-    if (now <= last_decay_ || tdre_ <= 0) return;
+    // Early-out before the division: most touches land within the current
+    // decay interval (tens of MTU packets fit in one Tdre at line rate).
+    if (tdre_ <= 0 || now - last_decay_ < tdre_) return;
     const std::int64_t steps = (now - last_decay_) / tdre_;
     if (steps > 0) {
       // (1-alpha)^steps, computed iteratively for small step counts and via

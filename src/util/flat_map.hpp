@@ -1,0 +1,271 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace clove::util {
+
+/// SplitMix64 finalizer: turns an integral key (or any pre-mixed 64-bit
+/// value) into a well-dispersed hash. FlatMap masks hashes with
+/// (capacity - 1), so the hash function must disperse the LOW bits —
+/// std::hash's identity on integers would make sequential keys collide in
+/// probe clusters.
+struct SplitMix64Hash {
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t z) const noexcept {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Open-addressing hash map with linear probing, tombstone deletion and
+/// power-of-two capacity — the flow-state store behind the forwarding fast
+/// path (FlowletTracker, SwitchFlowletTable, the hypervisor's endpoint and
+/// feedback maps).
+///
+/// Why not std::unordered_map: the node-based layout costs one heap
+/// allocation per insert and a pointer chase per lookup; on the per-packet
+/// path both show up directly in packets/s. FlatMap keeps all entries in one
+/// contiguous slot array: lookups touch a single cache line run, inserts
+/// allocate only when the table grows, and growth stops in steady state.
+///
+/// Pointer stability: erase() tombstones the slot without relocating
+/// anything, so a Value* ("entry handle") stays valid across other inserts'
+/// probe sequences and any number of erases — it is invalidated only by a
+/// rehash (growth). Callers holding a handle must not insert before using
+/// it; the touch()/set-through-handle pattern in the flowlet tables does
+/// lookup and store back-to-back.
+///
+/// Requirements: Key is equality-comparable + copyable, Key and Value are
+/// default-constructible. Hash(key) must return uint64_t with dispersed low
+/// bits (see SplitMix64Hash).
+template <typename Key, typename Value, typename Hash = SplitMix64Hash>
+class FlatMap {
+  enum class State : std::uint8_t { kEmpty = 0, kFull = 1, kTomb = 2 };
+
+  struct Slot {
+    Key key{};
+    Value value{};
+    State state{State::kEmpty};
+  };
+
+ public:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  FlatMap() = default;
+  explicit FlatMap(Hash hash) : hash_(std::move(hash)) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+    tombs_ = 0;
+    sweep_cursor_ = 0;
+  }
+
+  /// Pre-size so the table can hold `n` entries without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4 + 4) cap <<= 1;  // target load factor <= 0.75
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  [[nodiscard]] Value* find(const Key& key) {
+    Slot* s = find_slot(key);
+    return s != nullptr ? &s->value : nullptr;
+  }
+  [[nodiscard]] const Value* find(const Key& key) const {
+    const Slot* s = const_cast<FlatMap*>(this)->find_slot(key);
+    return s != nullptr ? &s->value : nullptr;
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Locate `key`, default-constructing its value if absent. Returns the
+  /// entry handle and whether it was inserted. The handle is valid until the
+  /// next rehash (i.e. at least until the next insert).
+  std::pair<Value*, bool> try_emplace(const Key& key) {
+    if (slots_.empty() || (size_ + tombs_ + 1) * 4 > slots_.size() * 3) {
+      grow();
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_(key) & mask;
+    Slot* tomb = nullptr;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.state == State::kEmpty) {
+        Slot* dst = tomb != nullptr ? tomb : &s;
+        if (tomb != nullptr) --tombs_;
+        dst->key = key;
+        dst->value = Value{};
+        dst->state = State::kFull;
+        ++size_;
+        return {&dst->value, true};
+      }
+      if (s.state == State::kTomb) {
+        if (tomb == nullptr) tomb = &s;  // first tombstone on the probe path
+      } else if (s.key == key) {
+        return {&s.value, false};
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  Value& operator[](const Key& key) { return *try_emplace(key).first; }
+
+  /// Erase by key; entry handles to other keys stay valid.
+  bool erase(const Key& key) {
+    Slot* s = find_slot(key);
+    if (s == nullptr) return false;
+    erase_slot(*s);
+    return true;
+  }
+
+  // --- iteration -----------------------------------------------------------
+  // Forward iteration over live entries; supports erase-during-iteration via
+  // it = map.erase(it). Iterators (like handles) survive erases but not
+  // rehashes.
+
+  template <bool Const>
+  class Iter {
+    using SlotPtr = std::conditional_t<Const, const Slot*, Slot*>;
+
+   public:
+    Iter(SlotPtr slot, SlotPtr end) : slot_(slot), end_(end) { skip(); }
+
+    [[nodiscard]] const Key& key() const { return slot_->key; }
+    [[nodiscard]] std::conditional_t<Const, const Value&, Value&> value()
+        const {
+      return slot_->value;
+    }
+
+    Iter& operator++() {
+      ++slot_;
+      skip();
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return slot_ == o.slot_; }
+    bool operator!=(const Iter& o) const { return slot_ != o.slot_; }
+
+   private:
+    friend class FlatMap;
+    void skip() {
+      while (slot_ != end_ && slot_->state != State::kFull) ++slot_;
+    }
+    SlotPtr slot_;
+    SlotPtr end_;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  [[nodiscard]] iterator begin() {
+    return iterator(slots_.data(), slots_.data() + slots_.size());
+  }
+  [[nodiscard]] iterator end() {
+    return iterator(slots_.data() + slots_.size(),
+                    slots_.data() + slots_.size());
+  }
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(slots_.data(), slots_.data() + slots_.size());
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(slots_.data() + slots_.size(),
+                          slots_.data() + slots_.size());
+  }
+
+  /// Erase the entry at `it` (tombstone, no relocation); returns the next
+  /// live entry.
+  iterator erase(iterator it) {
+    erase_slot(*it.slot_);
+    ++it.slot_;
+    it.skip();
+    return it;
+  }
+
+  /// Amortized housekeeping: visit up to `max_slots` slots from an internal
+  /// round-robin cursor and erase live entries for which `pred(key, value)`
+  /// is true. O(max_slots) per call regardless of table size — the
+  /// incremental replacement for full-table expiry scans. Returns the
+  /// number of entries erased.
+  template <typename Pred>
+  std::size_t sweep(std::size_t max_slots, Pred&& pred) {
+    if (slots_.empty() || size_ == 0) return 0;
+    const std::size_t n = slots_.size();
+    if (max_slots > n) max_slots = n;
+    std::size_t erased = 0;
+    for (std::size_t step = 0; step < max_slots; ++step) {
+      Slot& s = slots_[sweep_cursor_];
+      sweep_cursor_ = (sweep_cursor_ + 1) % n;
+      if (s.state == State::kFull && pred(s.key, s.value)) {
+        erase_slot(s);
+        ++erased;
+      }
+    }
+    return erased;
+  }
+
+ private:
+  Slot* find_slot(const Key& key) {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_(key) & mask;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.state == State::kEmpty) return nullptr;
+      if (s.state == State::kFull && s.key == key) return &s;
+      i = (i + 1) & mask;
+    }
+  }
+
+  void erase_slot(Slot& s) {
+    s.state = State::kTomb;
+    s.key = Key{};
+    s.value = Value{};  // release resources held by the value now
+    --size_;
+    ++tombs_;
+  }
+
+  void grow() {
+    // Double when genuinely full; rebuild at the same size when tombstones
+    // are what pushed the load factor up (keeps erase-heavy workloads from
+    // growing without bound).
+    std::size_t cap = slots_.empty() ? kMinCapacity : slots_.size();
+    if ((size_ + 1) * 2 > cap) cap <<= 1;
+    rehash(cap);
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    size_ = 0;
+    tombs_ = 0;
+    sweep_cursor_ = 0;
+    const std::size_t mask = new_cap - 1;
+    for (Slot& s : old) {
+      if (s.state != State::kFull) continue;
+      std::size_t i = hash_(s.key) & mask;
+      while (slots_[i].state == State::kFull) i = (i + 1) & mask;
+      slots_[i].key = std::move(s.key);
+      slots_[i].value = std::move(s.value);
+      slots_[i].state = State::kFull;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_{0};
+  std::size_t tombs_{0};
+  std::size_t sweep_cursor_{0};
+  Hash hash_{};
+};
+
+}  // namespace clove::util

@@ -245,5 +245,31 @@ TEST(Integration, LetFlowRunsEndToEnd) {
   EXPECT_EQ(r.jobs, 4u * 5u);
 }
 
+TEST(Integration, FixedSeedRunsAreBitIdentical) {
+  // Repeatability contract for the forwarding fast path: the cached wire
+  // hash, FlatMap flow tables with amortized expiry, and the single-wake
+  // link pipeline must not introduce any run-order or value nondeterminism.
+  // Two full Clove-ECN experiments at the same seed must agree exactly —
+  // doubles compared bit-for-bit, not within tolerance.
+  workload::ClientServerConfig wl;
+  wl.jobs_per_conn = 4;
+  wl.conns_per_client = 2;
+  wl.load = 0.6;
+  wl.sizes = workload::FlowSizeDistribution::fixed(200'000);
+
+  auto fingerprint = [&wl] {
+    ExperimentConfig cfg = base_cfg(Scheme::kCloveEcn);
+    cfg.seed = 42;
+    return harness::run_fct_experiment(cfg, wl);
+  };
+  const auto a = fingerprint();
+  const auto b = fingerprint();
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.avg_fct_s, b.avg_fct_s);
+  EXPECT_EQ(a.p99_fct_s, b.p99_fct_s);
+  EXPECT_EQ(a.mice_avg_fct_s, b.mice_avg_fct_s);
+  EXPECT_EQ(a.elephant_avg_fct_s, b.elephant_avg_fct_s);
+}
+
 }  // namespace
 }  // namespace clove

@@ -203,5 +203,68 @@ TEST(PacketPool, AttachesToSimulatorExtensionSlot) {
   EXPECT_EQ(&PacketPool::of(sim), &pool);  // idempotent
 }
 
+TEST(WireHash, SaltedHashComposesToHashTuple) {
+  // The fast path splits ECMP hashing into a per-packet prehash plus a
+  // per-switch salted finalize; the split must agree with the one-shot form
+  // for every salt or switches would disagree about path choices.
+  const FiveTuple t{3, 9, 4242, 80, Proto::kStt};
+  for (std::uint64_t salt : {0ull, 1ull, 7ull, 0xC09Aull, ~0ull}) {
+    EXPECT_EQ(hash_tuple(t, salt), salted_hash(tuple_prehash(t), salt));
+  }
+}
+
+TEST(WireHash, LazilyCachedAndInvalidated) {
+  Packet p;
+  p.inner = FiveTuple{1, 2, 1000, 80, Proto::kTcp};
+  EXPECT_FALSE(p.wire_hash_cached());
+  const std::uint64_t h = p.wire_hash();
+  EXPECT_TRUE(p.wire_hash_cached());
+  EXPECT_EQ(h, tuple_prehash(p.inner));
+  EXPECT_EQ(p.wire_hash(), h);  // stable while cached
+
+  // A wire-tuple mutation without invalidation would serve the stale value —
+  // this is exactly the bug invalidate_wire_hash() exists to prevent.
+  p.inner.src_port = 1001;
+  EXPECT_EQ(p.wire_hash(), h);  // stale: cache not yet invalidated
+  p.invalidate_wire_hash();
+  EXPECT_FALSE(p.wire_hash_cached());
+  EXPECT_EQ(p.wire_hash(), tuple_prehash(p.inner));
+  EXPECT_NE(p.wire_hash(), h);
+}
+
+TEST(WireHash, FollowsWireTupleAcrossEncapAndDecap) {
+  Packet p;
+  p.inner = FiveTuple{1, 2, 1000, 80, Proto::kTcp};
+  const std::uint64_t inner_hash = p.wire_hash();
+
+  // Encapsulation changes the wire tuple to the outer header (the
+  // hypervisor's vm_send invalidates right after building it).
+  p.encap.present = true;
+  p.encap.tuple = FiveTuple{100, 200, 55555, 7471, Proto::kStt};
+  p.invalidate_wire_hash();
+  EXPECT_EQ(p.wire_hash(), tuple_prehash(p.encap.tuple));
+  EXPECT_NE(p.wire_hash(), inner_hash);
+
+  // Decap restores the inner tuple as the wire tuple (handle_data's site).
+  p.encap = EncapHeader{};
+  p.invalidate_wire_hash();
+  EXPECT_EQ(p.wire_hash(), inner_hash);
+}
+
+TEST(WireHash, PoolRecycleClearsCache) {
+  // A recycled packet is reconstructed in place; a surviving stale cache
+  // would hash the previous flow's tuple for the new packet.
+  sim::Simulator sim;
+  auto p = make_packet(sim);
+  p->inner = FiveTuple{1, 2, 3, 4, Proto::kTcp};
+  (void)p->wire_hash();
+  EXPECT_TRUE(p->wire_hash_cached());
+  Packet* raw = p.get();
+  p.reset();  // back to the pool
+  auto q = make_packet(sim);
+  ASSERT_EQ(q.get(), raw);  // LIFO reuse of the same storage
+  EXPECT_FALSE(q->wire_hash_cached());
+}
+
 }  // namespace
 }  // namespace clove::net
