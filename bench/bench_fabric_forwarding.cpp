@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "overlay/paths.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/hub.hpp"
+#include "telemetry/scope.hpp"
 
 // --- allocation counting ---------------------------------------------------
 // Program-wide operator new/delete override (same scheme as
@@ -292,6 +294,89 @@ void scenario_conga(int rounds) {
   report("leaf_spine_conga", measure(sim, topo, driver, rounds));
 }
 
+/// Price the flight recorder against the forwarding datapath: the same
+/// fat-tree traffic is driven round-by-round under three interleaved arms —
+/// no telemetry scope at all (the baseline every other scenario measures),
+/// a scope whose recorder mode is kOff (the disabled recorder: hooks reduce
+/// to one thread-local load), and a recorder attached in sampled mode with
+/// a sample period far beyond the run (the attached-but-idle cost: TLS load
+/// plus a uid modulo per hop). Interleaving pairs the arms against the same
+/// machine state, so the exported ratios isolate the recorder's cost from
+/// run-to-run drift; bench_check.py fails the build if a ratio drops more
+/// than 2 points below its committed baseline, or if either instrumented
+/// arm starts allocating per packet.
+void scenario_flight_guard(int rounds) {
+  sim::Simulator sim;
+  net::Topology topo(sim);
+  net::FatTreeConfig cfg;
+  cfg.k = 4;
+  net::FatTree ft = net::build_fat_tree(
+      topo, cfg, [](net::Topology& t, const std::string& name, int /*pod*/) {
+        return t.add_host<SinkHost>(name);
+      });
+
+  TrafficDriver driver;
+  const int pods = ft.n_pods();
+  for (int pod = 0; pod < pods; ++pod) {
+    const auto& hosts = ft.hosts_by_pod[static_cast<std::size_t>(pod)];
+    const auto& peers =
+        ft.hosts_by_pod[static_cast<std::size_t>((pod + pods / 2) % pods)];
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      driver.sources.push_back(hosts[i]);
+      driver.dests.push_back(peers[i % peers.size()]);
+    }
+  }
+  driver.batch = batch_from_env();
+  for (int r = 0; r < 8; ++r) driver.run_round(sim);  // warm pools/tables
+
+  telemetry::ScopeSettings off_st;
+  off_st.enabled = false;
+  off_st.flight.mode = telemetry::FlightMode::kOff;
+  telemetry::Scope off_scope(off_st);
+
+  telemetry::ScopeSettings idle_st;
+  idle_st.enabled = false;
+  idle_st.flight.mode = telemetry::FlightMode::kSampled;
+  idle_st.flight.sample_every = 1ull << 40;  // never samples within the run
+  telemetry::Scope idle_scope(idle_st);
+
+  constexpr int kArms = 3;
+  const char* arm_name[kArms] = {"baseline", "recorder_off", "recorder_idle"};
+  double wall[kArms] = {};
+  std::uint64_t pkts[kArms] = {};
+  std::uint64_t allocs[kArms] = {};
+  for (int r = 0; r < rounds; ++r) {
+    for (int arm = 0; arm < kArms; ++arm) {
+      std::optional<telemetry::ScopeGuard> guard;
+      if (arm == 1) guard.emplace(off_scope);
+      if (arm == 2) guard.emplace(idle_scope);
+      const std::uint64_t a0 = alloc_count();
+      const auto t0 = std::chrono::steady_clock::now();
+      pkts[arm] += driver.run_round(sim);
+      const auto t1 = std::chrono::steady_clock::now();
+      wall[arm] += std::chrono::duration<double>(t1 - t0).count();
+      allocs[arm] += alloc_count() - a0;
+    }
+  }
+
+  const double base_rate = static_cast<double>(pkts[0]) / wall[0];
+  bench::Artifact* a = bench::Artifact::current();
+  for (int arm = 0; arm < kArms; ++arm) {
+    const double rate = static_cast<double>(pkts[arm]) / wall[arm];
+    const double ratio = rate / base_rate;
+    const double apk = static_cast<double>(allocs[arm]) /
+                       static_cast<double>(pkts[arm]);
+    std::printf("flight_guard.%-14s %10.3f Mpkts/s   ratio %.4f   "
+                "%.4f allocs/pkt\n",
+                arm_name[arm], rate / 1e6, ratio, apk);
+    if (a != nullptr && arm > 0) {
+      const std::string prefix = std::string("flight_guard.") + arm_name[arm];
+      a->add_value(prefix + "_ratio", ratio);
+      a->add_value(prefix + ".allocs_per_pkt", apk);
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -309,5 +394,6 @@ int main() {
   scenario_fat_tree(rounds);
   scenario_letflow(rounds);
   scenario_conga(rounds);
+  scenario_flight_guard(rounds);
   return 0;
 }

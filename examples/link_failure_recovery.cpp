@@ -4,26 +4,29 @@
 //   2. the periodic traceroute rounds rediscover the port->path mapping,
 //   3. the Clove-ECN weights shift away from the S2 bottleneck.
 //
-// The telemetry trace ring captures the whole sequence as structured
-// events; the demo reconstructs the client's S2 weight share over time
-// from the `clove.weight` event stream alone, and (with CLOVE_JSON_OUT
-// set) exports the capture as JSONL + chrome://tracing JSON.
+// The flight recorder rides along in sampled mode and reconstructs the
+// story from packet provenance alone: per-spine byte/flowlet shares per
+// time bucket show the traffic draining off S2 after the failure, and the
+// invariant auditors confirm nothing vanished or reached a VM out of
+// order while routes churned. With CLOVE_JSON_OUT set the capture is
+// exported as JSONL + chrome://tracing JSON + flight artifacts.
 //
 //   ./link_failure_recovery
 //   CLOVE_JSON_OUT=out ./link_failure_recovery   # also dump trace files
 
-#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <set>
 #include <string>
-#include <string_view>
+#include <vector>
 
 #include "harness/experiment.hpp"
 #include "lb/clove_ecn.hpp"
 #include "stats/timeseries.hpp"
 #include "telemetry/artifact.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/hub.hpp"
+#include "telemetry/scope.hpp"
 #include "workload/client_server.hpp"
 
 int main() {
@@ -46,6 +49,14 @@ int main() {
       static_cast<unsigned>(telemetry::Category::kWeight) |
       static_cast<unsigned>(telemetry::Category::kTopology) |
       static_cast<unsigned>(telemetry::Category::kTcp));
+  // Flight recorder in sampled mode: flow/flowlet records and the invariant
+  // auditors cover every packet; hop-by-hop journeys (which attribute bytes
+  // to physical paths) track every 4th packet — plenty for share estimates.
+  telemetry::FlightConfig fc;
+  fc.mode = telemetry::FlightMode::kSampled;
+  fc.sample_every = 4;
+  fc.usage_bucket = 100 * sim::kMillisecond;
+  telemetry::current_scope().set_flight_config(fc);
   telemetry::hub().begin_run();
 
   harness::Testbed tb(cfg);
@@ -175,9 +186,9 @@ int main() {
   }
 
   // -------------------------------------------------------------------
-  // Replay the decision trace: reconstruct this client's weight share on
-  // S2 paths purely from the captured `clove.weight` events — the same
-  // story report() told from live policy state, now from telemetry alone.
+  // Flight-recorder view: the same recovery story, reconstructed from
+  // per-packet path provenance instead of policy internals — per-spine
+  // byte/flowlet shares per 100ms bucket, then the invariant audits.
   // -------------------------------------------------------------------
   const telemetry::TraceLog& ring = telemetry::hub().trace();
   std::printf("\ntrace ring: %llu events captured (%llu recorded, %llu "
@@ -192,125 +203,67 @@ int main() {
                 ev->detail.c_str());
   }
 
-  // Replay the weight events oldest-first. Every `clove.weight` event is
-  // self-describing: detail "dst D via SPINE ecn_reduced|spread|remap",
-  // value = post-update weight, id = encap source port. "remap" batches
-  // (one per path, emitted when a traceroute round installs a new mapping)
-  // retire the ports of earlier rounds, so the reconstruction survives the
-  // periodic port remapping. Unlike report() above — which averages live
-  // policy state over every discovered destination — the replay counts only
-  // pairs that carried traffic: they alone receive feedback events.
-  struct PortW {
-    double weight;
-    bool via_s2;
-  };
-  using PairKey = std::pair<std::string, net::IpAddr>;
-  std::map<PairKey, std::map<std::uint16_t, PortW>> pairs;
-  std::set<PairKey> active;
-  PairKey remap_key;
-  bool in_remap = false;
-  std::uint64_t weight_events = 0;
+  telemetry::FlightRecorder* fr = telemetry::flight();
+  const std::uint32_t s2_id = tb.fabric().spines[1]->id();
 
-  // Running weight sums over active pairs, updated incrementally so the
-  // share can be integrated over time (time-weighted window averages are
-  // far less noisy than point samples of the churning WRR state).
-  double s2_mass = 0.0, total = 0.0;
-  double integral = 0.0;
-  sim::Time win_active = 0;  ///< time with >=1 active pair in this window
-  sim::Time prev_t = 0, win_start = 0;
-  const sim::Time win = 250 * sim::kMillisecond;
-  double pre_sum = 0.0, post_sum = 0.0;
-  sim::Time pre_t = 0, post_t = 0;
-  std::printf("\naggregate S2 weight share of active (client,dst) pairs, "
-              "replayed from clove.weight events (250ms averages):\n");
-  // Attribute the span [from, to) at the current share to the window
-  // integral and to the pre/post-failure running averages. Spans before the
-  // first weight event (no active pairs yet) carry no information and are
-  // skipped entirely.
-  auto add_span = [&](sim::Time from, sim::Time to, double share) {
-    if (total <= 0.0 || to <= from) return;
-    integral += share * static_cast<double>(to - from);
-    win_active += to - from;
-    const sim::Time pre_end = std::min(to, std::max(from, fail_at));
-    pre_sum += share * static_cast<double>(pre_end - from);
-    pre_t += pre_end - from;
-    post_sum += share * static_cast<double>(to - pre_end);
-    post_t += to - pre_end;
-  };
-  auto advance_to = [&](sim::Time t) {
-    const double share = total > 0.0 ? s2_mass / total : 0.0;
-    while (t >= win_start + win) {
-      const sim::Time win_end = win_start + win;
-      add_span(prev_t, win_end, share);
-      if (win_active > 0) {
-        std::printf("  [%-10s .. %-10s)  S2 share %5.1f%%%s\n",
-                    sim::format_time(win_start).c_str(),
-                    sim::format_time(win_end).c_str(),
-                    100.0 * integral / static_cast<double>(win_active),
-                    win_end <= fail_at ? "  pre-failure" : "");
-      }
-      prev_t = win_end;
-      win_start = win_end;
-      integral = 0.0;
-      win_active = 0;
-    }
-    add_span(prev_t, t, share);
-    prev_t = t;
-  };
-  // Mutate one (pair, port) entry, keeping the running sums in sync.
-  auto upsert = [&](const PairKey& key, std::uint16_t port, PortW pw) {
-    PortW& slot = pairs[key][port];
-    if (active.count(key) != 0) {
-      total += pw.weight - slot.weight;
-      if (slot.via_s2) s2_mass -= slot.weight;
-      if (pw.via_s2) s2_mass += pw.weight;
-    }
-    slot = pw;
-  };
-  for (const auto* ev :
-       ring.events(static_cast<unsigned>(telemetry::Category::kWeight))) {
-    net::IpAddr dst = 0, via = 0;
-    char tag[16] = {0};
-    if (std::sscanf(ev->detail.c_str(), "dst %u via %u %15s", &dst, &via,
-                    tag) != 3) {
-      continue;
-    }
-    // Remap events are stamped with the policy's last data-path timestamp,
-    // which can lag interleaved feedback events slightly — keep the replay
-    // clock monotonic.
-    advance_to(std::max(ev->t, prev_t));
-    ++weight_events;
-    const PairKey key{ev->node, dst};
-    const bool remap = std::string_view(tag) == "remap";
-    if (remap && (!in_remap || key != remap_key)) {
-      // New discovery round for this pair: retire the old ports.
-      for (const auto& [port, pw] : pairs[key]) {
-        if (active.count(key) != 0) {
-          total -= pw.weight;
-          if (pw.via_s2) s2_mass -= pw.weight;
-        }
-      }
-      pairs[key].clear();
-      remap_key = key;
-    }
-    in_remap = remap;
-    if (!remap && active.insert(key).second) {
-      // Pair just became active: its carried remap state starts counting.
-      for (const auto& [port, pw] : pairs[key]) {
-        total += pw.weight;
-        if (pw.via_s2) s2_mass += pw.weight;
+  // Per-bucket spine shares from the sampled journeys: every delivered
+  // tracked packet attributed its bytes to the spine it crossed.
+  std::printf("\nper-spine traffic shares from packet provenance "
+              "(sampled 1-in-%llu, %sms buckets):\n",
+              static_cast<unsigned long long>(fc.sample_every),
+              std::to_string(fc.usage_bucket / sim::kMillisecond).c_str());
+  const std::vector<telemetry::PathUsage> usage = fr->path_usage();
+  std::map<sim::Time, std::map<std::uint32_t, telemetry::PathUsage>> buckets;
+  for (const telemetry::PathUsage& pu : usage) buckets[pu.bucket_start][pu.via] = pu;
+  double pre_bytes = 0.0, pre_s2 = 0.0, post_bytes = 0.0, post_s2 = 0.0;
+  double pre_fl = 0.0, pre_fl_s2 = 0.0, post_fl = 0.0, post_fl_s2 = 0.0;
+  for (const auto& [t, by_via] : buckets) {
+    double bytes = 0.0, s2_b = 0.0, fl = 0.0, s2_fl = 0.0;
+    for (const auto& [via, pu] : by_via) {
+      bytes += static_cast<double>(pu.bytes);
+      fl += static_cast<double>(pu.flowlets);
+      if (via == s2_id) {
+        s2_b += static_cast<double>(pu.bytes);
+        s2_fl += static_cast<double>(pu.flowlets);
       }
     }
-    upsert(key, static_cast<std::uint16_t>(ev->id), PortW{ev->value, via == s2});
+    if (bytes <= 0.0) continue;
+    const bool post = t >= fail_at;
+    (post ? post_bytes : pre_bytes) += bytes;
+    (post ? post_s2 : pre_s2) += s2_b;
+    (post ? post_fl : pre_fl) += fl;
+    (post ? post_fl_s2 : pre_fl_s2) += s2_fl;
+    std::printf("  [%-10s)  via S2: %5.1f%% of bytes, %5.1f%% of flowlets%s\n",
+                sim::format_time(t).c_str(), 100.0 * s2_b / bytes,
+                fl > 0.0 ? 100.0 * s2_fl / fl : 0.0,
+                t + fc.usage_bucket <= fail_at ? "  pre-failure" : "");
   }
-  advance_to(win_start + win);  // flush the last partial window
-  std::printf("  (%llu clove.weight events replayed; S2 carries 2 of 4 "
-              "uniform paths pre-failure, 1 of 3 live fabric links after)\n",
-              static_cast<unsigned long long>(weight_events));
-  std::printf("  time-averaged S2 share: %.1f%% before the failure, %.1f%% "
-              "after\n",
-              pre_t > 0 ? 100.0 * pre_sum / static_cast<double>(pre_t) : 0.0,
-              post_t > 0 ? 100.0 * post_sum / static_cast<double>(post_t) : 0.0);
+  std::printf("  S2 byte share: %.1f%% before the failure, %.1f%% after "
+              "(capacity share after failure: 33.3%%)\n",
+              pre_bytes > 0 ? 100.0 * pre_s2 / pre_bytes : 0.0,
+              post_bytes > 0 ? 100.0 * post_s2 / post_bytes : 0.0);
+  std::printf("  S2 flowlet share: %.1f%% before, %.1f%% after\n",
+              pre_fl > 0 ? 100.0 * pre_fl_s2 / pre_fl : 0.0,
+              post_fl > 0 ? 100.0 * post_fl_s2 / post_fl : 0.0);
+
+  // The always-on invariant auditors rode through the failure: packets may
+  // die on the failed link (accounted drops), but none may vanish silently,
+  // arrive reordered within a flowlet, or leak ECN state into a guest.
+  telemetry::FlightSummary fs = fr->summary(tb.simulator().now());
+  std::printf("\nflight recorder: %llu packets seen, %llu journeys (%llu "
+              "delivered, %llu dropped), %llu flowlets\n",
+              static_cast<unsigned long long>(fs.packets_seen),
+              static_cast<unsigned long long>(fs.journeys_started),
+              static_cast<unsigned long long>(fs.delivered),
+              static_cast<unsigned long long>(fs.dropped),
+              static_cast<unsigned long long>(fs.flowlets));
+  std::printf("invariant audits: conservation=%llu flowlet_reorder=%llu "
+              "vm_reorder=%llu ecn_mask=%llu%s\n",
+              static_cast<unsigned long long>(fs.audit.conservation),
+              static_cast<unsigned long long>(fs.audit.flowlet_reorder),
+              static_cast<unsigned long long>(fs.audit.vm_reorder),
+              static_cast<unsigned long long>(fs.audit.ecn_mask),
+              fs.audit.total() == 0 ? "  [all clean]" : "  [VIOLATIONS]");
 
   // Optional machine-readable exports of the full capture.
   const std::string out_dir = telemetry::json_out_dir();
@@ -319,8 +272,18 @@ int main() {
         out_dir, "link_failure_trace.jsonl", ring.to_jsonl());
     const std::string chrome = telemetry::write_text_artifact(
         out_dir, "link_failure_trace.chrome.json", ring.to_chrome_trace());
-    std::printf("\ntrace exports: %s\n               %s\n", jsonl.c_str(),
-                chrome.c_str());
+    telemetry::Json doc = fs.to_json();
+    telemetry::Json names = telemetry::Json::object();
+    for (const telemetry::PathUsage& pu : fs.paths)
+      names.set(std::to_string(pu.via), telemetry::Json(fr->node_name(pu.via)));
+    doc.set("node_names", std::move(names));
+    const std::string flight = telemetry::write_json_artifact(
+        out_dir, "FLIGHT_link_failure", doc);
+    const std::string flows = telemetry::write_text_artifact(
+        out_dir, "link_failure_flows.jsonl", fr->flows_jsonl());
+    std::printf("\ntrace exports: %s\n               %s\n"
+                "               %s\n               %s\n",
+                jsonl.c_str(), chrome.c_str(), flight.c_str(), flows.c_str());
   }
   return 0;
 }

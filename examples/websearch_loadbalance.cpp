@@ -6,17 +6,53 @@
 //   ./websearch_loadbalance [--load 70] [--asymmetric] [--jobs 40]
 //                           [--conns 2] [--seeds 1] [--ns2]
 //                           [--schemes ecmp,edge-flowlet,clove-ecn,...]
+//
+// Run with CLOVE_FLIGHT_RECORDER=sampled (or =full) to append, per scheme,
+// the flight recorder's view of the run: per-spine traffic shares built from
+// actual packet provenance plus the four invariant audit counters.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
 #include "stats/stats.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/scope.hpp"
 
 namespace {
+
+/// One line of provenance per scheme: where the bytes actually went, and
+/// whether the always-on auditors stayed clean. Uses the recorder's learned
+/// node names, so call while the scheme's last run is still current.
+void print_flight_summary(const char* scheme,
+                          const clove::telemetry::FlightSummary& fs) {
+  const clove::telemetry::FlightRecorder* fr = clove::telemetry::flight();
+  std::uint64_t total_bytes = 0;
+  for (const auto& p : fs.paths) total_bytes += p.bytes;
+  std::printf("  %-13s %llu pkts, %llu journeys (recon %.1f%%), %llu flowlets",
+              scheme, static_cast<unsigned long long>(fs.packets_seen),
+              static_cast<unsigned long long>(fs.journeys_started),
+              fs.reconstruction_rate() * 100.0,
+              static_cast<unsigned long long>(fs.flowlets));
+  if (fr != nullptr && total_bytes > 0) {
+    std::printf(" |");
+    for (const auto& p : fs.paths) {
+      std::printf(" via %s %.1f%%", fr->node_name(p.via).c_str(),
+                  100.0 * static_cast<double>(p.bytes) /
+                      static_cast<double>(total_bytes));
+    }
+  }
+  std::printf(" | audits c=%llu fr=%llu vr=%llu em=%llu %s\n",
+              static_cast<unsigned long long>(fs.audit.conservation),
+              static_cast<unsigned long long>(fs.audit.flowlet_reorder),
+              static_cast<unsigned long long>(fs.audit.vm_reorder),
+              static_cast<unsigned long long>(fs.audit.ecn_mask),
+              fs.audit.total() == 0 ? "[clean]" : "[VIOLATIONS]");
+}
 
 clove::harness::Scheme parse_scheme(const std::string& name) {
   using clove::harness::Scheme;
@@ -88,11 +124,15 @@ int main(int argc, char** argv) {
   std::printf("%d jobs/conn x %d conns/client x %d seed(s)\n\n", jobs, conns,
               seeds);
 
+  const bool flight_on =
+      telemetry::FlightConfig::from_env().mode != telemetry::FlightMode::kOff;
+
   stats::Table table({"scheme", "avg FCT (s)", "mice avg (s)", ">10MB avg (s)",
                       "p99 (s)", "timeouts", "drops"});
   for (harness::Scheme s : schemes) {
     double avg = 0, mice = 0, elep = 0, p99 = 0;
     std::uint64_t timeouts = 0, drops = 0;
+    telemetry::FlightSummary flight{};
     for (int seed = 0; seed < seeds; ++seed) {
       harness::ExperimentConfig cfg =
           ns2 ? harness::make_ns2_profile() : harness::make_testbed_profile();
@@ -110,15 +150,26 @@ int main(int argc, char** argv) {
       p99 += r.p99_fct_s / seeds;
       timeouts += r.timeouts;
       drops += r.drops;
+      flight = r.flight;  // last seed's provenance (each run resets the
+                          // recorder, so only the latest snapshot is live)
     }
     table.add_row({harness::scheme_name(s), stats::Table::fmt(avg),
                    stats::Table::fmt(mice), stats::Table::fmt(elep),
                    stats::Table::fmt(p99), std::to_string(timeouts),
                    std::to_string(drops)});
-    std::printf(".");
+    if (flight_on) {
+      print_flight_summary(harness::scheme_name(s).c_str(), flight);
+    } else {
+      std::printf(".");
+    }
     std::fflush(stdout);
   }
   std::printf("\n\n");
   table.print();
+  if (!flight_on) {
+    std::printf(
+        "\n(rerun with CLOVE_FLIGHT_RECORDER=sampled for per-scheme path "
+        "provenance and invariant audits)\n");
+  }
   return 0;
 }

@@ -19,6 +19,11 @@ carries (stdlib only — this runs in CI before anything is installed):
   ``BENCH_CHECK_TOLERANCE=0.40`` etc. for noisy runners). Throughput must
   stay above baseline * (1 - tol); latency below baseline / (1 - tol).
 
+* Paired ratios (``*_ratio``, e.g. the flight-recorder overhead guard):
+  the bench computed these as same-run A/B comparisons, so machine speed
+  cancels out and they get a tight absolute band — the current value must
+  stay above baseline - RATIO_SLACK (2 points).
+
 Metrics present in only one of the two files are reported but non-fatal:
 benches gain and lose counters across PRs, and the baseline is refreshed by
 re-running ./run_benches.sh (artifacts land at the repo root by default).
@@ -32,6 +37,7 @@ import os
 import sys
 
 ALLOC_SLACK = 0.01  # absolute allocs-per-event slack for amortized housekeeping
+RATIO_SLACK = 0.02  # absolute band for same-run A/B overhead ratios
 DEFAULT_TOLERANCE = 0.25
 
 
@@ -54,6 +60,10 @@ def is_alloc(name):
 
 def is_throughput(name):
     return name.endswith("_per_sec")
+
+
+def is_ratio(name):
+    return name.endswith("_ratio")
 
 
 def is_latency(name):
@@ -87,6 +97,13 @@ def main(argv):
             status = "FAIL" if c > limit else "ok"
             print(f"  [{status}] {name}: {c:.6g} (baseline {b:.6g}, limit {limit:.6g})")
             if c > limit:
+                failures.append(name)
+        elif is_ratio(name):
+            checked += 1
+            floor = b - RATIO_SLACK
+            status = "FAIL" if c < floor else "ok"
+            print(f"  [{status}] {name}: {c:.6g} (baseline {b:.6g}, floor {floor:.6g})")
+            if c < floor:
                 failures.append(name)
         elif is_throughput(name):
             checked += 1

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Explain a run from its flight-recorder artifacts.
+
+Usage: trace_summarize.py [ARTIFACT_DIR] [--top N] [--strict]
+
+Reads the files a run exports when CLOVE_FLIGHT_RECORDER is on and
+CLOVE_JSON_OUT points at ARTIFACT_DIR (default: out):
+
+  FLIGHT_<scheme>.json               summary + audit counters + path shares
+  flight_<scheme>_journeys.jsonl     one line per tracked packet journey
+  flight_<scheme>_flows.jsonl        one line per flowlet record
+  flight_<scheme>_timeseries.csv     per-link utilization / queue samples
+
+and prints, per scheme: delivery and reconstruction totals, the four
+invariant-audit verdicts, where the bytes actually went (per mid-path node),
+drop attribution, the most congested links over time, the deepest queues
+any packet actually crossed, and the flows with the most retransmits.
+
+Stdlib only — runs in CI with no installs. Exit status: 0 = report printed
+(violations included, unless --strict), 1 = --strict and an auditor fired,
+2 = no artifacts found / parse error.
+"""
+
+import csv
+import json
+import os
+import sys
+
+AUDITORS = ("conservation", "flowlet_reorder", "vm_reorder", "ecn_mask")
+
+
+def load_jsonl(path):
+    if not os.path.exists(path):
+        return []
+    out = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def fmt_bytes(n):
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:.1f} GB"
+
+
+def summarize_timeseries(path, top):
+    """Top-N links by peak utilization, with their deepest queue sample."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    if len(rows) < 2:
+        return []
+    header = rows[0]
+    # Columns come in util:<link> / queue:<link> pairs sharing the link name.
+    links = {}
+    for idx, col in enumerate(header):
+        if ":" not in col:
+            continue
+        kind, link = col.split(":", 1)
+        links.setdefault(link, {})[kind] = idx
+    peaks = []
+    for link, cols in links.items():
+        peak_util = peak_q = 0.0
+        for row in rows[1:]:
+            try:
+                if "util" in cols:
+                    peak_util = max(peak_util, float(row[cols["util"]]))
+                if "queue" in cols:
+                    peak_q = max(peak_q, float(row[cols["queue"]]))
+            except (ValueError, IndexError):
+                continue
+        peaks.append((peak_util, peak_q, link))
+    peaks.sort(reverse=True)
+    return peaks[:top]
+
+
+def report_scheme(dir_, fname, top):
+    with open(os.path.join(dir_, fname)) as f:
+        doc = json.load(f)
+    scheme = doc.get("scheme", fname[len("FLIGHT_"):-len(".json")])
+    names = doc.get("node_names", {})
+    print(f"=== {scheme} (mode={doc.get('mode', '?')}) ===")
+    print(f"  packets seen      {doc.get('packets_seen', 0):>12,}")
+    print(f"  journeys tracked  {doc.get('journeys_started', 0):>12,}"
+          f"  (delivered {doc.get('delivered', 0):,},"
+          f" consumed {doc.get('consumed', 0):,},"
+          f" dropped {doc.get('dropped', 0):,})")
+    print(f"  path reconstruction rate  {doc.get('reconstruction_rate', 0.0):.4f}")
+
+    audit = doc.get("audit", {})
+    total = sum(int(audit.get(a, 0)) for a in AUDITORS)
+    verdict = "all clean" if total == 0 else "VIOLATIONS"
+    detail = " ".join(f"{a}={int(audit.get(a, 0))}" for a in AUDITORS)
+    print(f"  invariant audits: {detail}  [{verdict}]")
+
+    paths = doc.get("paths", [])
+    total_bytes = sum(p.get("bytes", 0) for p in paths) or 1
+    for p in paths:
+        via = str(p.get("via"))
+        name = names.get(via, f"n{via}")
+        share = 100.0 * p.get("bytes", 0) / total_bytes
+        print(f"  via {name:<6} {share:5.1f}% of bytes"
+              f"  ({fmt_bytes(p.get('bytes', 0))},"
+              f" {p.get('packets', 0):,} pkts,"
+              f" {p.get('flowlets', 0):,} flowlets)")
+
+    stem = fname[len("FLIGHT_"):-len(".json")]
+    journeys = load_jsonl(os.path.join(dir_, f"flight_{stem}_journeys.jsonl"))
+    if journeys:
+        # Drop attribution: which node and outcome ended the failed journeys.
+        drops = {}
+        deep = {}
+        for j in journeys:
+            out = j.get("outcome", "?")
+            if out.startswith("drop"):
+                key = (out, j.get("end_node", "?"))
+                drops[key] = drops.get(key, 0) + 1
+            for hop in j.get("hops", []):
+                node = hop.get("node", "?")
+                q = hop.get("q_bytes", 0.0)
+                if q >= deep.get(node, -1.0):
+                    deep[node] = q
+        if drops:
+            print("  drops by (cause, node):")
+            ranked = sorted(drops.items(), key=lambda kv: -kv[1])[:top]
+            for (out, node), n in ranked:
+                print(f"    {out:<14} at {node:<6} {n:,}")
+        if deep:
+            print("  deepest queues crossed (per node):")
+            ranked = sorted(deep.items(), key=lambda kv: -kv[1])[:top]
+            for node, q in ranked:
+                print(f"    {node:<6} {fmt_bytes(q)}")
+
+    flows = load_jsonl(os.path.join(dir_, f"flight_{stem}_flows.jsonl"))
+    if flows:
+        by_flow = {}
+        for r in flows:
+            agg = by_flow.setdefault(r.get("flow", "?"),
+                                     {"bytes": 0, "rtx": 0, "flowlets": 0})
+            agg["bytes"] += r.get("bytes", 0)
+            agg["rtx"] += r.get("retransmits", 0)
+            agg["flowlets"] += 1
+        worst = sorted(by_flow.items(), key=lambda kv: -kv[1]["rtx"])[:top]
+        if any(agg["rtx"] for _, agg in worst):
+            print("  flows with most retransmits:")
+            for flow, agg in worst:
+                if agg["rtx"] == 0:
+                    continue
+                print(f"    {flow:<24} {agg['rtx']:,} rtx over"
+                      f" {agg['flowlets']:,} flowlets"
+                      f" ({fmt_bytes(agg['bytes'])})")
+
+    peaks = summarize_timeseries(
+        os.path.join(dir_, f"flight_{stem}_timeseries.csv"), top)
+    if peaks:
+        print("  most congested links (peak over sampled intervals):")
+        for util, q, link in peaks:
+            print(f"    {link:<12} peak util {util:5.1%}, peak queue {fmt_bytes(q)}")
+    print()
+    return total
+
+
+def main(argv):
+    dir_ = "out"
+    top = 5
+    strict = False
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--top":
+            top = int(args.pop(0))
+        elif a == "--strict":
+            strict = True
+        elif a.startswith("-"):
+            print(__doc__.strip().splitlines()[2], file=sys.stderr)
+            return 2
+        else:
+            dir_ = a
+    try:
+        flight_files = sorted(f for f in os.listdir(dir_)
+                              if f.startswith("FLIGHT_") and f.endswith(".json"))
+    except OSError as e:
+        print(f"trace_summarize: {e}", file=sys.stderr)
+        return 2
+    if not flight_files:
+        print(f"trace_summarize: no FLIGHT_*.json artifacts in {dir_} "
+              "(run with CLOVE_FLIGHT_RECORDER=full and CLOVE_JSON_OUT set)",
+              file=sys.stderr)
+        return 2
+    violations = 0
+    try:
+        for fname in flight_files:
+            violations += report_scheme(dir_, fname, top)
+    except (OSError, ValueError, json.JSONDecodeError, KeyError) as e:
+        print(f"trace_summarize: {e}", file=sys.stderr)
+        return 2
+    if violations and strict:
+        print(f"trace_summarize: {violations} audit violation(s) recorded",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,7 +10,9 @@
 #include "lb/presto.hpp"
 #include "net/conga_switch.hpp"
 #include "net/letflow_switch.hpp"
+#include "telemetry/artifact.hpp"
 #include "telemetry/hub.hpp"
+#include "telemetry/scope.hpp"
 
 namespace clove::harness {
 
@@ -80,7 +82,8 @@ overlay::HypervisorConfig Testbed::make_hyp_config() {
   overlay::HypervisorConfig h;
   h.overlay = !cfg_.non_overlay;
   h.feedback_relay_interval = cfg_.feedback_relay_interval;
-  h.reorder_buffer = (cfg_.scheme == Scheme::kPresto);
+  h.reorder_buffer =
+      (cfg_.scheme == Scheme::kPresto) && !cfg_.presto_no_reorder;
   h.discovery = cfg_.discovery;
   h.measure_latency =
       (cfg_.scheme == Scheme::kCloveLatency) || cfg_.adaptive_flowlet_gap;
@@ -182,6 +185,39 @@ Testbed::Testbed(const ExperimentConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
     }
   }
 
+  // While the flight recorder is on, watch every fabric link's utilization
+  // and queue depth so runs can be explained after the fact (the recorder's
+  // journeys say *where* packets went; these series say *why* — which egress
+  // queues were hot when the policy moved flowlets).
+  if (telemetry::flight_active()) {
+    flight_watch_ = std::make_unique<stats::TimeSeriesSet>(sim_);
+    const sim::Time interval = 1 * sim::kMillisecond;
+    // Parallel links between the same pair share a display name, so suffix
+    // the parallel index to keep CSV columns distinct.
+    auto watch = [&](net::Link* l, std::size_t k) {
+      if (l == nullptr) return;
+      std::string tag = l->name();
+      if (cfg_.topo.links_per_pair > 1) {
+        tag += '#';
+        tag += std::to_string(k);
+      }
+      flight_watch_->add("util:" + tag, [l] { return l->utilization(); },
+                         interval);
+      flight_watch_->add(
+          "queue:" + tag,
+          [l] { return static_cast<double>(l->queue_bytes()); }, interval);
+    };
+    for (auto& leaf_links : fabric_.fabric_links) {
+      for (auto& spine_links : leaf_links) {
+        for (std::size_t k = 0; k < spine_links.size(); ++k) {
+          watch(spine_links[k], k);                    // leaf -> spine
+          watch(topo_->reverse_of(spine_links[k]), k); // spine -> leaf
+        }
+      }
+    }
+    flight_watch_->start_all();
+  }
+
   if (cfg_.asymmetric) fail_s2_l2_link();
 }
 
@@ -275,6 +311,33 @@ ExperimentResult run_fct_experiment(const ExperimentConfig& cfg,
   r.events = tb.simulator().events_processed();
   r.fct = std::make_shared<stats::FctRecorder>(std::move(ws.fct()));
   if (telemetry::enabled()) r.metrics = telemetry::hub().metrics().snapshot();
+  if (auto* fr = telemetry::flight()) {
+    // Summarize (this runs the conservation audit) and, when the artifact
+    // sink is on, dump the raw provenance next to the bench JSON so
+    // scripts/trace_summarize.py can explain the run.
+    r.flight = fr->summary(tb.simulator().now());
+    const std::string dir = telemetry::json_out_dir();
+    if (!dir.empty()) {
+      const std::string tag = scheme_name(cfg.scheme);
+      telemetry::Json doc = r.flight.to_json();
+      doc.set("scheme", telemetry::Json(tag));
+      telemetry::Json path_names = telemetry::Json::object();
+      for (const telemetry::PathUsage& pu : r.flight.paths) {
+        path_names.set(std::to_string(pu.via),
+                       telemetry::Json(fr->node_name(pu.via)));
+      }
+      doc.set("node_names", std::move(path_names));
+      telemetry::write_json_artifact(dir, "FLIGHT_" + tag, doc);
+      telemetry::write_text_artifact(dir, "flight_" + tag + "_journeys.jsonl",
+                                     fr->journeys_jsonl());
+      telemetry::write_text_artifact(dir, "flight_" + tag + "_flows.jsonl",
+                                     fr->flows_jsonl());
+      if (tb.flight_watch() != nullptr) {
+        telemetry::write_text_artifact(dir, "flight_" + tag + "_timeseries.csv",
+                                       tb.flight_watch()->to_csv());
+      }
+    }
+  }
   return r;
 }
 

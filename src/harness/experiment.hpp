@@ -7,6 +7,8 @@
 #include "net/topology.hpp"
 #include "overlay/hypervisor.hpp"
 #include "stats/stats.hpp"
+#include "stats/timeseries.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "transport/tcp.hpp"
 #include "workload/client_server.hpp"
@@ -50,6 +52,11 @@ struct ExperimentConfig {
   bool adaptive_flowlet_gap{false};
   /// Run Clove in the §7 non-overlay (five-tuple rewriting) mode.
   bool non_overlay{false};
+  /// Disable Presto's receiver-side flowcell reassembly buffer. Presto is
+  /// broken without it (the VM sees raw flowcell interleaving); the knob
+  /// exists so the flight recorder's no-reorder auditor can demonstrate
+  /// exactly that (the negative test in test_flight_recorder.cpp).
+  bool presto_no_reorder{false};
 
   // Guest transport. min RTO defaults to the "testbed" profile; the Fig. 8
   // NS2-style benches lower it (see make_ns2_profile()).
@@ -80,6 +87,9 @@ struct ExperimentResult {
   /// Telemetry registry snapshot taken at run end (empty values when the
   /// telemetry hub is disabled; see CLOVE_TELEMETRY).
   telemetry::MetricsSnapshot metrics;
+  /// Flight-recorder digest (mode kOff when CLOVE_FLIGHT_RECORDER is unset):
+  /// journey/provenance counts, per-path usage, audit verdicts.
+  telemetry::FlightSummary flight;
 };
 
 /// A fully-built testbed ready to run: topology, hosts, workload hooks.
@@ -108,6 +118,13 @@ class Testbed {
   [[nodiscard]] std::uint64_t total_drops() const;
   [[nodiscard]] std::uint64_t total_ecn_marks() const;
 
+  /// Per-fabric-link utilization and queue-depth time series, sampled while
+  /// the flight recorder is active (null otherwise). Series are named
+  /// "util:<link>" and "queue:<link>"; exported as flight_*_timeseries.csv.
+  [[nodiscard]] stats::TimeSeriesSet* flight_watch() {
+    return flight_watch_.get();
+  }
+
  private:
   std::unique_ptr<lb::Policy> make_policy();
   overlay::HypervisorConfig make_hyp_config();
@@ -118,6 +135,7 @@ class Testbed {
   net::LeafSpine fabric_;
   std::vector<overlay::Hypervisor*> clients_;
   std::vector<overlay::Hypervisor*> servers_;
+  std::unique_ptr<stats::TimeSeriesSet> flight_watch_;
 };
 
 /// Run the §5/§6 client-server FCT workload for one (scheme, load) point.

@@ -108,15 +108,21 @@ sim::Time CloveEcnPolicy::gap_for(const DstState* st) const {
 }
 
 std::uint16_t CloveEcnPolicy::pick_port(const net::Packet& inner,
-                                        net::IpAddr dst, sim::Time now) {
+                                        net::IpAddr dst, sim::Time now,
+                                        PickInfo* info) {
   last_now_ = now;
   auto it0 = dsts_.find(dst);
   auto t = flowlets_.touch(inner.inner, now,
                            gap_for(it0 == dsts_.end() ? nullptr : &it0->second));
+  if (info != nullptr) {
+    info->new_flowlet = t.new_flowlet;
+    info->flowlet_id = t.flowlet_id;
+  }
   auto it = it0;
   if (it == dsts_.end() || it->second.paths.empty()) {
     // Discovery hasn't produced a mapping yet: fall back to per-flowlet
     // random ports (Edge-Flowlet behaviour).
+    if (info != nullptr) info->reason = "flowlet-hash";
     if (!t.new_flowlet) return t.port;
     const std::uint16_t port = hash_port(inner.inner, t.flowlet_id);
     t.set_port(port);
@@ -124,16 +130,29 @@ std::uint16_t CloveEcnPolicy::pick_port(const net::Packet& inner,
   }
   DstState& st = it->second;
   apply_recovery(st, now);
+  if (info != nullptr) {
+    info->n_paths = static_cast<std::uint16_t>(st.paths.size());
+  }
 
   if (!t.new_flowlet) {
     // Keep the flowlet on its path as long as that port is still mapped.
     for (const auto& p : st.paths) {
-      if (p.info.port == t.port) return t.port;
+      if (p.info.port == t.port) {
+        if (info != nullptr) {
+          info->reason = "wrr";
+          info->metric = p.weight;
+        }
+        return t.port;
+      }
     }
   }
   const std::size_t idx = wrr_pick(st);
   const std::uint16_t port = st.paths[idx].info.port;
   t.set_port(port);
+  if (info != nullptr) {
+    info->reason = "wrr";
+    info->metric = st.paths[idx].weight;
+  }
   if (t.new_flowlet && telemetry::tracing()) {
     telemetry::trace(telemetry::Category::kFlowlet, now, owner(),
                      "clove.flowlet_new", "dst " + std::to_string(dst),

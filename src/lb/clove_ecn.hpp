@@ -44,8 +44,10 @@ class CloveEcnPolicy : public Policy {
                           std::uint64_t seed = 0xC10Fe)
       : cfg_(cfg), flowlets_(cfg.flowlet_gap), rng_(seed) {}
 
+  using Policy::pick_port;
+
   std::uint16_t pick_port(const net::Packet& inner, net::IpAddr dst,
-                          sim::Time now) override;
+                          sim::Time now, PickInfo* info) override;
   void on_paths_updated(net::IpAddr dst, const overlay::PathSet& paths) override;
   void on_feedback(net::IpAddr dst, const net::CloveFeedback& fb,
                    sim::Time now) override;

@@ -27,11 +27,18 @@ class CloveLatencyPolicy : public Policy {
                               std::uint64_t seed = 0x1a7e)
       : cfg_(cfg), flowlets_(cfg.flowlet_gap), rng_(seed) {}
 
+  using Policy::pick_port;
+
   std::uint16_t pick_port(const net::Packet& inner, net::IpAddr dst,
-                          sim::Time now) override {
+                          sim::Time now, PickInfo* info) override {
     auto t = flowlets_.touch(inner.inner, now);
+    if (info != nullptr) {
+      info->new_flowlet = t.new_flowlet;
+      info->flowlet_id = t.flowlet_id;
+    }
     auto it = dsts_.find(dst);
     if (it == dsts_.end() || it->second.paths.empty()) {
+      if (info != nullptr) info->reason = "flowlet-hash";
       if (!t.new_flowlet) return t.port;
       const std::uint16_t port = static_cast<std::uint16_t>(
           overlay::kEphemeralBase +
@@ -41,9 +48,16 @@ class CloveLatencyPolicy : public Policy {
       return port;
     }
     DstState& st = it->second;
+    if (info != nullptr) {
+      info->reason = "least-latency";
+      info->n_paths = static_cast<std::uint16_t>(st.paths.size());
+    }
     if (!t.new_flowlet) {
       for (const auto& p : st.paths) {
-        if (p.info.port == t.port) return t.port;
+        if (p.info.port == t.port) {
+          if (info != nullptr) info->metric = effective_latency(p, now);
+          return t.port;
+        }
       }
     }
     double best = 1e300;
@@ -62,6 +76,7 @@ class CloveLatencyPolicy : public Policy {
     }
     const std::uint16_t port = st.paths[chosen].info.port;
     t.set_port(port);
+    if (info != nullptr) info->metric = effective_latency(st.paths[chosen], now);
     return port;
   }
 

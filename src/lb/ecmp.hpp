@@ -9,10 +9,13 @@ namespace clove::lb {
 /// fabric's ECMP pins every flow to one path regardless of congestion.
 class EcmpPolicy : public Policy {
  public:
+  using Policy::pick_port;
+
   std::uint16_t pick_port(const net::Packet& inner, net::IpAddr dst,
-                          sim::Time now) override {
+                          sim::Time now, PickInfo* info) override {
     (void)dst;
     (void)now;
+    if (info != nullptr) *info = PickInfo{};  // per-flow hash, no flowlets
     return static_cast<std::uint16_t>(
         overlay::kEphemeralBase +
         net::hash_tuple(inner.inner, /*salt=*/0xEC3Bu) % overlay::kEphemeralCount);

@@ -16,10 +16,17 @@ class EdgeFlowletPolicy : public Policy {
   explicit EdgeFlowletPolicy(sim::Time flowlet_gap = 100 * sim::kMicrosecond)
       : flowlets_(flowlet_gap) {}
 
+  using Policy::pick_port;
+
   std::uint16_t pick_port(const net::Packet& inner, net::IpAddr dst,
-                          sim::Time now) override {
+                          sim::Time now, PickInfo* info) override {
     (void)dst;
     auto t = flowlets_.touch(inner.inner, now);
+    if (info != nullptr) {
+      info->new_flowlet = t.new_flowlet;
+      info->flowlet_id = t.flowlet_id;
+      info->reason = "flowlet-hash";
+    }
     if (!t.new_flowlet) return t.port;
     const std::uint16_t port = static_cast<std::uint16_t>(
         overlay::kEphemeralBase +

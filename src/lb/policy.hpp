@@ -9,6 +9,17 @@
 
 namespace clove::lb {
 
+/// Why pick_port() returned the port it did — the flight recorder's
+/// decision annotation. Policies fill it only when the caller passes a
+/// non-null pointer, so the hot path without a recorder is unchanged.
+struct PickInfo {
+  bool new_flowlet{false};
+  std::uint32_t flowlet_id{0};   ///< flowlet / Presto flowcell id (0 = per-flow)
+  const char* reason{"flow-hash"};  ///< decision rule that fired
+  double metric{0.0};   ///< the rule's operand: WRR weight, path util, delay us
+  std::uint16_t n_paths{0};  ///< discovered candidate paths at decision time
+};
+
 /// The decision interface of an edge load balancer living inside a source
 /// hypervisor's virtual switch. One Policy instance per hypervisor; all
 /// per-destination state is keyed internally by destination hypervisor IP.
@@ -21,9 +32,17 @@ class Policy {
   virtual ~Policy() = default;
 
   /// Choose the overlay encapsulation source port for `inner` headed to the
-  /// hypervisor at `dst`. Called per data packet.
+  /// hypervisor at `dst`. Called per data packet. When `info` is non-null
+  /// the policy explains its decision through it (flight recorder).
   virtual std::uint16_t pick_port(const net::Packet& inner, net::IpAddr dst,
-                                  sim::Time now) = 0;
+                                  sim::Time now, PickInfo* info) = 0;
+
+  /// Convenience overload for callers that do not need the annotation.
+  /// Derived classes re-expose it with `using Policy::pick_port;`.
+  std::uint16_t pick_port(const net::Packet& inner, net::IpAddr dst,
+                          sim::Time now) {
+    return pick_port(inner, dst, now, nullptr);
+  }
 
   /// Path discovery produced (or refreshed) the port->path mapping for dst.
   virtual void on_paths_updated(net::IpAddr dst, const overlay::PathSet& paths) {
@@ -45,6 +64,13 @@ class Policy {
   [[nodiscard]] virtual bool wants_int() const { return false; }
   /// Whether this policy needs traceroute path discovery to function.
   [[nodiscard]] virtual bool needs_discovery() const { return false; }
+  /// Whether the scheme's correctness depends on receiver-side reassembly
+  /// restoring send order before the VM (Presto's flowcell spraying). The
+  /// flight recorder audits VM-boundary ordering only where order is
+  /// actually promised: when this is true, or when a reorder buffer is
+  /// installed — flowlet schemes merely make reordering unlikely, so an
+  /// occasional cross-flowlet overtake is legal there, not a violation.
+  [[nodiscard]] virtual bool requires_reassembly() const { return false; }
 
   /// §3.2 "Reacting to congestion": when every known path to dst is
   /// congested, the vswitch stops masking and relays ECN into the VM.

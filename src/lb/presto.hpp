@@ -30,25 +30,38 @@ class PrestoPolicy : public Policy {
 
   void set_weight_fn(WeightFn fn) { weight_fn_ = std::move(fn); }
 
+  using Policy::pick_port;
+
   std::uint16_t pick_port(const net::Packet& inner, net::IpAddr dst,
-                          sim::Time now) override {
+                          sim::Time now, PickInfo* info) override {
     (void)now;
     auto dit = dsts_.find(dst);
     if (dit == dsts_.end() || dit->second.paths.empty()) {
+      if (info != nullptr) *info = PickInfo{};
       return static_cast<std::uint16_t>(
           overlay::kEphemeralBase +
           net::hash_tuple(inner.inner, 0x9137u) % overlay::kEphemeralCount);
     }
     DstState& st = dit->second;
     FlowState& fs = flows_[inner.inner];
+    bool new_cell = false;
     if (fs.cell_bytes == 0 || fs.cell_bytes >= cfg_.flowcell_bytes) {
       // New flowcell: advance the per-flow weighted round-robin.
       fs.path_idx = wrr_pick(st, fs);
       fs.cell_bytes = 0;
       ++fs.flowcell_id;
+      new_cell = true;
     }
     fs.cell_bytes += inner.payload;
     if (fs.path_idx >= st.paths.size()) fs.path_idx = 0;
+    if (info != nullptr) {
+      info->new_flowlet = new_cell;
+      info->flowlet_id = fs.flowcell_id;
+      info->reason = "flowcell";
+      info->metric =
+          fs.path_idx < st.weights.size() ? st.weights[fs.path_idx] : 0.0;
+      info->n_paths = static_cast<std::uint16_t>(st.paths.size());
+    }
     return st.paths[fs.path_idx].port;
   }
 
@@ -71,6 +84,7 @@ class PrestoPolicy : public Policy {
   [[nodiscard]] bool needs_discovery() const override { return true; }
   /// Presto expects receiver-side flowcell reassembly.
   [[nodiscard]] static bool wants_reorder_buffer() { return true; }
+  [[nodiscard]] bool requires_reassembly() const override { return true; }
 
  private:
   struct DstState {

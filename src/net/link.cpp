@@ -4,6 +4,7 @@
 
 #include "net/node.hpp"
 #include "telemetry/hub.hpp"
+#include "telemetry/scope.hpp"
 
 namespace clove::net {
 
@@ -31,6 +32,10 @@ void Link::enqueue(PacketPtr pkt) {
   if (down_) {
     ++stats_.drops_down;
     if (telemetry::enabled()) cells_.drops_down->add();
+    if (auto* fr = telemetry::flight()) {
+      fr->on_drop(pkt->uid, dst_ != nullptr ? dst_->id() : 0, name_,
+                  telemetry::JourneyOutcome::kDropLinkDown, sim_.now());
+    }
     return;
   }
   const std::int64_t wire = pkt->wire_size();
@@ -41,6 +46,10 @@ void Link::enqueue(PacketPtr pkt) {
       telemetry::trace(telemetry::Category::kQueue, sim_.now(), name_,
                        "link.drop_overflow", pkt->to_string(),
                        static_cast<double>(queue_bytes_));
+    }
+    if (auto* fr = telemetry::flight()) {
+      fr->on_drop(pkt->uid, dst_ != nullptr ? dst_->id() : 0, name_,
+                  telemetry::JourneyOutcome::kDropOverflow, sim_.now());
     }
     return;
   }
@@ -87,6 +96,12 @@ void Link::start_tx() {
 void Link::on_tx_done() {
   if (down_ || !in_flight_) {
     // The link failed during serialization; the bits are lost.
+    if (in_flight_) {
+      if (auto* fr = telemetry::flight()) {
+        fr->on_drop(in_flight_->uid, dst_ != nullptr ? dst_->id() : 0, name_,
+                    telemetry::JourneyOutcome::kDropLinkDown, sim_.now());
+      }
+    }
     in_flight_.reset();
     busy_ = false;
     return;
@@ -132,6 +147,10 @@ void Link::deliver_front() {
     if (down_) {
       ++stats_.drops_down;
       if (telemetry::enabled()) cells_.drops_down->add();
+      if (auto* fr = telemetry::flight()) {
+        fr->on_drop(pkt->uid, dst_ != nullptr ? dst_->id() : 0, name_,
+                    telemetry::JourneyOutcome::kDropLinkDown, sim_.now());
+      }
       continue;
     }
     dst_->receive(std::move(pkt), dst_in_port_);
@@ -152,6 +171,25 @@ void Link::down() {
     telemetry::trace(telemetry::Category::kTopology, sim_.now(), name_,
                      "link.down", "flushed in-flight packets",
                      static_cast<double>(flushed));
+  }
+  if (auto* fr = telemetry::flight()) {
+    // Finalize every flushed journey individually so the conservation
+    // auditor can account for packets lost to the failure.
+    const NodeId at = dst_ != nullptr ? dst_->id() : 0;
+    while (!queue_.empty()) {
+      fr->on_drop(queue_.front()->uid, at, name_,
+                  telemetry::JourneyOutcome::kDropLinkDown, sim_.now());
+      queue_.pop_front();
+    }
+    while (!propagating_.empty()) {
+      fr->on_drop(propagating_.front().second->uid, at, name_,
+                  telemetry::JourneyOutcome::kDropLinkDown, sim_.now());
+      propagating_.pop_front();
+    }
+    if (in_flight_) {
+      fr->on_drop(in_flight_->uid, at, name_,
+                  telemetry::JourneyOutcome::kDropLinkDown, sim_.now());
+    }
   }
   queue_.clear();
   queue_bytes_ = 0;

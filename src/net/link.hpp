@@ -70,6 +70,16 @@ class Link {
     return dre_.quantized(sim_.now(), bits);
   }
 
+  /// Whether enqueueing `p` right now would ECN-mark it (the exact marking
+  /// condition enqueue() applies). Used by the flight recorder's hop records
+  /// at the switch, where the egress decision is made.
+  [[nodiscard]] bool would_mark(const Packet& p) const {
+    if (!cfg_.ecn_marking || queue_bytes_ < cfg_.ecn_threshold_bytes) {
+      return false;
+    }
+    return p.encap.present ? p.encap.ecn.ect : (!p.encap.present && p.tcp.ect);
+  }
+
   /// Enable/disable ECN marking post-construction (the topology builder
   /// turns marking off on host NIC egress queues: those are hypervisor TX
   /// queues, not switch ports, and real deployments do not mark them).

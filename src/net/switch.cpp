@@ -1,6 +1,7 @@
 #include "net/switch.hpp"
 
 #include "telemetry/hub.hpp"
+#include "telemetry/scope.hpp"
 
 namespace clove::net {
 
@@ -19,15 +20,29 @@ void Switch::receive(PacketPtr pkt, int in_port) {
   if (pkt->ttl == 0) {
     ++stats_.ttl_drops;
     if (telemetry::enabled()) cells_.ttl_drops->add();
+    if (auto* fr = telemetry::flight()) {
+      fr->on_drop(pkt->uid, id(), name(),
+                  telemetry::JourneyOutcome::kDropTtl, sim_.now());
+    }
     return;
   }
   pkt->ttl--;
   if (pkt->ttl == 0) {
     if (pkt->probe.probe_id != 0 && pkt->probe.hop_ip == kIpNone) {
       send_probe_reply(*pkt, in_port);
+      if (auto* fr = telemetry::flight()) {
+        // The probe terminated here by design — a legitimate consumption,
+        // not a conservation violation.
+        fr->on_drop(pkt->uid, id(), name(),
+                    telemetry::JourneyOutcome::kConsumed, sim_.now());
+      }
     } else {
       ++stats_.ttl_drops;
       if (telemetry::enabled()) cells_.ttl_drops->add();
+      if (auto* fr = telemetry::flight()) {
+        fr->on_drop(pkt->uid, id(), name(),
+                    telemetry::JourneyOutcome::kDropTtl, sim_.now());
+      }
     }
     return;
   }
@@ -45,12 +60,23 @@ void Switch::forward(PacketPtr pkt, int in_port) {
                        "switch.no_route", "dst " + std::to_string(dst), 0.0,
                        dst);
     }
+    if (auto* fr = telemetry::flight()) {
+      fr->on_drop(pkt->uid, id(), name(),
+                  telemetry::JourneyOutcome::kDropNoRoute, sim_.now());
+    }
     return;
   }
   const int egress = select_port(*pkt, *ports, in_port);
   on_forward(*pkt, egress, in_port);
   ++stats_.forwarded;
   if (telemetry::enabled()) cells_.forwarded->add();
+  if (auto* fr = telemetry::flight(); fr != nullptr && fr->wants(pkt->uid)) {
+    // Queue depth and ECN decision are recorded as the egress queue will see
+    // this packet: the enqueue below applies exactly would_mark()'s condition.
+    Link* l = port(egress);
+    fr->on_hop(pkt->uid, id(), name(), in_port, egress, l->queue_bytes(),
+               l->would_mark(*pkt), sim_.now());
+  }
   port(egress)->enqueue(std::move(pkt));
 }
 

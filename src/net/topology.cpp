@@ -68,6 +68,7 @@ void Topology::compute_routes() {
                      "topology.route_recompute", {},
                      static_cast<double>(route_epoch_));
   }
+  if (auto* fr = telemetry::flight()) fr->on_route_change();
   // Adjacency: for each node, its live egress links.
   const std::size_t n = nodes_.size();
   std::vector<std::vector<Link*>> egress(n);

@@ -2,6 +2,7 @@
 
 #include "net/link.hpp"
 #include "telemetry/hub.hpp"
+#include "telemetry/scope.hpp"
 
 namespace clove::overlay {
 
@@ -31,6 +32,11 @@ Hypervisor::Hypervisor(net::NodeId id, std::string name, sim::Simulator& sim,
     reorder_ = std::make_unique<ReorderBuffer>(
         sim_, cfg_.reorder,
         [this](net::PacketPtr p) { deliver_to_vm(std::move(p)); });
+    reorder_->set_flush_hook([](const net::FiveTuple& t) {
+      if (auto* fr = telemetry::flight()) {
+        fr->on_reassembly_flush({t.src_ip, t.dst_ip, t.src_port, t.dst_port});
+      }
+    });
   }
 }
 
@@ -62,7 +68,15 @@ void Hypervisor::vm_send(net::PacketPtr pkt) {
     return;
   }
 
-  const std::uint16_t port = policy_->pick_port(*pkt, dst, sim_.now());
+  lb::PickInfo pick;
+  const std::uint16_t port = policy_->pick_port(*pkt, dst, sim_.now(), &pick);
+  if (auto* fr = telemetry::flight()) {
+    fr->on_pick(pkt->uid, id(), name(),
+                {pkt->inner.src_ip, pkt->inner.dst_ip, pkt->inner.src_port,
+                 pkt->inner.dst_port},
+                dst, port, pick.flowlet_id, pick.reason, pick.metric,
+                pkt->tcp.seq, pkt->payload, sim_.now());
+  }
 
   if (cfg_.overlay) {
     ++stats_.encapped;
@@ -153,6 +167,10 @@ void Hypervisor::note_feedback(
 // ---------------------------------------------------------------------------
 
 void Hypervisor::receive(net::PacketPtr pkt, int /*in_port*/) {
+  if (auto* fr = telemetry::flight(); fr != nullptr && fr->wants(pkt->uid)) {
+    fr->on_deliver(pkt->uid, id(), name(),
+                   pkt->encap.present && pkt->encap.ecn.ce, sim_.now());
+  }
   if (pkt->inner.proto == net::Proto::kProbeReply) {
     handle_probe_reply(*pkt);
     return;
@@ -264,8 +282,16 @@ void Hypervisor::handle_data(net::PacketPtr pkt) {
   // (e) §3.2: only when ALL paths to the peer are congested is ECN relayed
   // into the sending VM — modeled by forging ECE on the inbound ACKs that
   // VM's TCP is clocked by.
-  if (peer != net::kIpNone && pkt->tcp.flags.ack &&
-      policy_->all_paths_congested(peer, sim_.now())) {
+  const bool all_congested = peer != net::kIpNone && pkt->tcp.flags.ack &&
+                             policy_->all_paths_congested(peer, sim_.now());
+  if (telemetry::flight_active() && pkt->tcp.flags.ack &&
+      (pkt->tcp.flags.ece || all_congested)) {
+    // The auditor sees every ECE that will reach the VM: forged ones (below)
+    // and echoed ones arriving on the wire. Either is only legitimate when
+    // all paths are congested — receivers never echo a masked CE.
+    telemetry::flight()->on_ecn_to_vm(all_congested);
+  }
+  if (all_congested) {
     if (!pkt->tcp.flags.ece) {
       ++stats_.forged_ece;
       if (telemetry::enabled()) cells_.forged_ece->add();
@@ -285,6 +311,14 @@ void Hypervisor::handle_data(net::PacketPtr pkt) {
 }
 
 void Hypervisor::deliver_to_vm(net::PacketPtr pkt) {
+  if (auto* fr = telemetry::flight()) {
+    fr->on_vm_delivery(pkt->uid,
+                       {pkt->inner.src_ip, pkt->inner.dst_ip,
+                        pkt->inner.src_port, pkt->inner.dst_port},
+                       pkt->tcp.seq, pkt->payload, pkt->tcp.ce,
+                       reorder_ != nullptr || policy_->requires_reassembly(),
+                       sim_.now());
+  }
   const net::FiveTuple key = pkt->inner.reversed();
   transport::TcpEndpoint** ep = endpoints_.find(key);
   if (ep == nullptr) {

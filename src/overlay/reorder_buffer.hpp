@@ -26,9 +26,16 @@ struct ReorderConfig {
 class ReorderBuffer {
  public:
   using DeliverFn = std::function<void(net::PacketPtr)>;
+  using FlushFn = std::function<void(const net::FiveTuple&)>;
 
   ReorderBuffer(sim::Simulator& sim, const ReorderConfig& cfg, DeliverFn deliver)
       : sim_(sim), cfg_(cfg), deliver_(std::move(deliver)) {}
+
+  /// Observe forced (timeout / cap) flushes. A forced flush deliberately
+  /// releases past a gap, so late stragglers filling that gap will reach the
+  /// VM out of send order — the flight recorder's reassembly auditor uses
+  /// this to distinguish that designed release from a reassembly bug.
+  void set_flush_hook(FlushFn fn) { on_flush_ = std::move(fn); }
 
   /// Offer an inner data packet (payload > 0).
   void offer(net::PacketPtr pkt) {
@@ -57,6 +64,7 @@ class ReorderBuffer {
 
  private:
   struct Flow {
+    net::FiveTuple tuple{};
     std::uint64_t next_seq{0};
     std::multimap<std::uint64_t, net::PacketPtr> buf;
     std::uint64_t buffered_bytes{0};
@@ -67,6 +75,7 @@ class ReorderBuffer {
     auto [it, inserted] = flows_.try_emplace(t);
     Flow& f = it->second;
     if (inserted) {
+      f.tuple = t;
       f.timer = std::make_unique<sim::Timer>(sim_, [this, &f] { flush(f); });
     }
     return f;
@@ -89,6 +98,7 @@ class ReorderBuffer {
   /// sequence order, letting the VM TCP handle the hole.
   void flush(Flow& f) {
     ++flushes_;
+    if (on_flush_) on_flush_(f.tuple);
     while (!f.buf.empty()) {
       auto it = f.buf.begin();
       net::PacketPtr pkt = std::move(it->second);
@@ -103,6 +113,7 @@ class ReorderBuffer {
   sim::Simulator& sim_;
   ReorderConfig cfg_;
   DeliverFn deliver_;
+  FlushFn on_flush_;
   std::unordered_map<net::FiveTuple, Flow, net::FiveTupleHash> flows_;
   std::uint64_t held_{0};
   std::uint64_t flushes_{0};

@@ -7,6 +7,7 @@ namespace clove::telemetry {
 namespace detail {
 thread_local Scope* tl_scope = nullptr;
 thread_local bool tl_enabled = false;
+thread_local FlightRecorder* tl_flight = nullptr;
 }  // namespace detail
 
 ScopeSettings ScopeSettings::from_env() {
@@ -21,12 +22,27 @@ ScopeSettings ScopeSettings::from_env() {
   if (const char* v = std::getenv("CLOVE_TRACE_CATEGORIES")) {
     s.trace_filter = parse_category_mask(v);
   }
+  s.flight = FlightConfig::from_env();
   return s;
 }
 
 void Scope::set_enabled(bool on) {
   enabled_ = on;
   if (detail::tl_scope == this) detail::tl_enabled = on;
+}
+
+FlightRecorder* Scope::flight_recorder() {
+  if (flight_cfg_.mode == FlightMode::kOff) return nullptr;
+  if (!flight_) {
+    flight_ = std::make_unique<FlightRecorder>(flight_cfg_, &metrics_);
+  }
+  return flight_.get();
+}
+
+void Scope::set_flight_config(const FlightConfig& cfg) {
+  flight_cfg_ = cfg;
+  flight_.reset();  // drop stale state recorded under the old config
+  if (detail::tl_scope == this) detail::tl_flight = flight_recorder();
 }
 
 Scope& current_scope() {
@@ -38,6 +54,7 @@ Scope& current_scope() {
     static Scope process_scope{ScopeSettings::from_env()};
     detail::tl_scope = &process_scope;
     detail::tl_enabled = process_scope.is_enabled();
+    detail::tl_flight = process_scope.flight_recorder();
   }
   return *detail::tl_scope;
 }

@@ -1,5 +1,6 @@
 #include "telemetry/trace.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace clove::telemetry {
@@ -49,6 +50,7 @@ void TraceLog::set_capacity(std::size_t capacity) {
 
 void TraceLog::record(TraceEvent ev) {
   if (!accepts(ev.cat)) return;
+  ev.seq = recorded_;
   ++recorded_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(ev));
@@ -78,6 +80,15 @@ std::vector<const TraceEvent*> TraceLog::events(unsigned mask) const {
     const TraceEvent& ev = ring_[(start + i) % ring_.size()];
     if ((mask & static_cast<unsigned>(ev.cat)) != 0) out.push_back(&ev);
   }
+  // Canonicalize: by timestamp, recording order breaking ties. Emitters that
+  // stamp events with a stale "last seen" time (discovery-driven weight
+  // remaps) would otherwise leave exports in an order that depends on when
+  // the recording thread interleaved with the simulated clock.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->t != b->t) return a->t < b->t;
+                     return a->seq < b->seq;
+                   });
   return out;
 }
 
@@ -86,6 +97,7 @@ std::string TraceLog::to_jsonl(unsigned mask) const {
   for (const TraceEvent* ev : events(mask)) {
     Json line = Json::object();
     line.set("t_ns", static_cast<double>(ev->t));
+    line.set("seq", static_cast<double>(ev->seq));
     line.set("cat", category_name(ev->cat));
     line.set("node", ev->node);
     line.set("name", ev->name);

@@ -40,6 +40,12 @@ struct TraceEvent {
   std::string detail;
   double value{0.0};
   std::uint64_t id{0};
+  /// Monotonic per-TraceLog recording index, stamped by record(). Exports
+  /// sort by (t, seq) so the serialized order is canonical: some emitters
+  /// (e.g. clove.weight remaps driven by discovery) record with a stale
+  /// timestamp, and insertion order alone would make artifact diffs depend
+  /// on scheduling details such as CLOVE_THREADS.
+  std::uint64_t seq{0};
 };
 
 /// Bounded ring buffer of TraceEvents keyed to simulated time. When full,
@@ -70,12 +76,13 @@ class TraceLog {
   [[nodiscard]] std::uint64_t recorded_total() const { return recorded_; }
   [[nodiscard]] std::uint64_t dropped_oldest() const { return dropped_; }
 
-  /// Events in time order (oldest first), optionally category-filtered.
+  /// Events sorted by (t, seq) — deterministic regardless of the order
+  /// stale-timestamped events were recorded in — optionally filtered.
   [[nodiscard]] std::vector<const TraceEvent*> events(
       unsigned mask = kAllCategories) const;
 
-  /// One JSON object per line: {"t_ns":..,"cat":..,"node":..,"name":..,
-  /// "detail":..,"value":..,"id":..}.
+  /// One JSON object per line: {"t_ns":..,"seq":..,"cat":..,"node":..,
+  /// "name":..,"detail":..,"value":..,"id":..}, in (t, seq) order.
   [[nodiscard]] std::string to_jsonl(unsigned mask = kAllCategories) const;
 
   /// chrome://tracing / Perfetto "trace event" JSON: instant events on one

@@ -123,6 +123,56 @@ TEST(Table, FormatsAlignedColumns) {
   EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
 }
 
+TEST(Samples, SingleSampleCdfAndPercentiles) {
+  Samples s;
+  s.add(42.0);
+  // Every percentile of one sample is that sample (rank interpolation over
+  // values_.size()-1 == 0 must not divide or index out of range).
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  auto cdf = s.cdf(10);
+  ASSERT_EQ(cdf.size(), 10u);
+  for (const auto& [v, q] : cdf) EXPECT_DOUBLE_EQ(v, 42.0);
+  EXPECT_DOUBLE_EQ(cdf.front().second, 0.1);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Samples, DuplicateValuesCdfStaysMonotone) {
+  // A heavily tied distribution (e.g. all mice flows finishing in the same
+  // FCT bucket) must still yield a monotone CDF that steps through the tie.
+  Samples s;
+  for (int i = 0; i < 6; ++i) s.add(5.0);
+  s.add(1.0);
+  s.add(9.0);
+  auto cdf = s.cdf(8);
+  ASSERT_EQ(cdf.size(), 8u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.front().first, 5.0);  // the tie dominates early mass
+  EXPECT_DOUBLE_EQ(cdf.back().first, 9.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  // Percentiles inside the tie are exact, not interpolated across it.
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+}
+
+TEST(Samples, CdfMorePointsThanSamplesClampsToMax) {
+  Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  auto cdf = s.cdf(100);
+  ASSERT_EQ(cdf.size(), 100u);
+  EXPECT_DOUBLE_EQ(cdf.back().first, 2.0);
+  // The index clamp keeps every quantile inside the sample range.
+  for (const auto& [v, q] : cdf) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 2.0);
+  }
+}
+
 TEST(Table, FmtPrecision) {
   EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
   EXPECT_EQ(Table::fmt(2.0, 0), "2");

@@ -109,5 +109,71 @@ TEST(TimeSeriesSet, CsvRowCountFollowsAnchorSeries) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
 }
 
+TEST(TimeSeries, EmptySeriesIsSafe) {
+  // Never started (or stopped before the first tick): every aggregate must
+  // degrade to zero instead of reading past an empty vector.
+  sim::Simulator sim;
+  TimeSeries ts(sim, "v", [] { return 7.0; }, sim::milliseconds(10));
+  sim.run(sim::milliseconds(50));
+  EXPECT_TRUE(ts.points().empty());
+  EXPECT_DOUBLE_EQ(ts.last(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean_between(0, sim::kSecond), 0.0);
+}
+
+TEST(TimeSeries, SingleSampleAggregates) {
+  sim::Simulator sim;
+  TimeSeries ts(sim, "v", [] { return 3.5; }, sim::milliseconds(10));
+  ts.start();
+  sim.schedule_at(sim::milliseconds(15), [&] { ts.stop(); });
+  sim.run(sim::milliseconds(50));
+  ASSERT_EQ(ts.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.last(), 3.5);
+  EXPECT_DOUBLE_EQ(ts.max(), 3.5);
+  EXPECT_DOUBLE_EQ(ts.mean(), 3.5);
+  // Half-open window semantics around the lone sample at t=10ms.
+  EXPECT_DOUBLE_EQ(ts.mean_between(0, sim::milliseconds(11)), 3.5);
+  EXPECT_DOUBLE_EQ(ts.mean_between(sim::milliseconds(10), sim::kSecond), 3.5);
+  EXPECT_DOUBLE_EQ(ts.mean_between(0, sim::milliseconds(10)), 0.0);
+}
+
+TEST(TimeSeries, RestartRearmsInsteadOfDuplicating) {
+  // start() on an already-running series re-arms the timer; a restart at
+  // the sampling instant itself must not double-record that timestamp.
+  sim::Simulator sim;
+  TimeSeries ts(sim, "v", [] { return 1.0; }, sim::milliseconds(10));
+  ts.start();
+  sim.schedule_at(sim::milliseconds(15), [&] { ts.start(); });
+  sim.run(sim::milliseconds(30));
+  // The restart cancels the pending t=20ms firing: samples land at 10 and
+  // 25 ms — never two at one timestamp from a single series.
+  ASSERT_EQ(ts.points().size(), 2u);
+  EXPECT_EQ(ts.points()[0].first, sim::milliseconds(10));
+  EXPECT_EQ(ts.points()[1].first, sim::milliseconds(25));
+}
+
+TEST(TimeSeriesSet, DuplicateNamesAndTimestampsKeepBothColumns) {
+  // Two series can legitimately collide on both name and timestamps — e.g.
+  // parallel fabric links share a display name and all flight-watch series
+  // share one sampling interval. The CSV must keep both columns (in add
+  // order) and pair duplicate timestamps row-for-row; find() resolves the
+  // name to the first-added series.
+  sim::Simulator sim;
+  TimeSeriesSet set(sim);
+  TimeSeries& first = set.add("q", [] { return 1.0; }, sim::milliseconds(10));
+  set.add("q", [] { return 2.0; }, sim::milliseconds(10));
+  set.start_all();
+  sim.run(sim::milliseconds(25));
+  ASSERT_EQ(first.points().size(), 2u);
+  ASSERT_EQ(set.at(1).points().size(), 2u);
+  EXPECT_EQ(first.points()[0].first, set.at(1).points()[0].first);
+  EXPECT_EQ(set.find("q"), &first);
+  const std::string csv = set.to_csv();
+  EXPECT_NE(csv.find("time_ms,q,q"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("10.000,1,2"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("20.000,1,2"), std::string::npos) << csv;
+}
+
 }  // namespace
 }  // namespace clove::stats

@@ -5,6 +5,7 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "telemetry/json.hpp"
 #include "telemetry/trace.hpp"
@@ -179,6 +180,40 @@ TEST(TraceCategories, NamesAndMaskParsing) {
   // Unknown names are ignored rather than fatal.
   EXPECT_EQ(parse_category_mask("weight,bogus"),
             static_cast<unsigned>(Category::kWeight));
+}
+
+TEST(TraceLog, ExportOrderIsCanonicalForStaleTimestamps) {
+  // Emitters like discovery-driven weight remaps record with a timestamp
+  // older than events already in the ring. The export must still be
+  // deterministic: sorted by timestamp, insertion sequence as tie-break —
+  // never raw insertion order, which varies with CLOVE_THREADS scheduling.
+  TraceLog log;
+  log.record(ev(500, Category::kQueue, 1));
+  log.record(ev(100, Category::kWeight, 2));  // stale timestamp
+  log.record(ev(500, Category::kQueue, 3));   // same t as the first event
+  log.record(ev(300, Category::kWeight, 4));
+
+  auto events = log.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0]->id, 2u);
+  EXPECT_EQ(events[1]->id, 4u);
+  EXPECT_EQ(events[2]->id, 1u);  // t ties broken by recording sequence
+  EXPECT_EQ(events[3]->id, 3u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1]->t, events[i]->t);
+  }
+
+  // The JSONL serialization follows the same canonical order.
+  std::istringstream lines(log.to_jsonl());
+  std::string line;
+  std::vector<std::uint64_t> ids;
+  while (std::getline(lines, line)) {
+    std::string err;
+    Json doc = Json::parse(line, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ids.push_back(static_cast<std::uint64_t>(doc["id"].as_number()));
+  }
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{2, 4, 1, 3}));
 }
 
 TEST(TraceLog, SetCapacityRestartsCapture) {
