@@ -32,6 +32,8 @@
 int main() {
   using namespace clove;
 
+  const sim::Time fail_at = sim::milliseconds(300);
+
   harness::ExperimentConfig cfg = harness::make_testbed_profile();
   cfg.scheme = harness::Scheme::kCloveEcn;
   cfg.discovery.probe_interval = 250 * sim::kMillisecond;
@@ -39,6 +41,14 @@ int main() {
   // feedback inter-arrival time (~15ms here), so weight removed from the
   // bottleneck is not spread right back onto it at the next reduction.
   cfg.clove_congestion_expiry = 20 * sim::kMillisecond;
+  // The mid-run failure is a scheduled fault-plan event (DESIGN.md §8), not
+  // a hand-rolled simulator callback: the S2-L2 link dies at t=300ms and
+  // the fabric's routing keeps pointing at the corpse for another 30ms (the
+  // convergence blackhole). Source-side path-health monitoring rides along
+  // and evicts dead outer ports if keepalives go unanswered.
+  cfg.path_health.enabled = true;
+  cfg.fault_plan.route_convergence = 30 * sim::kMillisecond;
+  cfg.fault_plan.add(fail_at, fault::FaultKind::kLinkDown, "L2->S2#0");
 
   // Capture the decisions that tell the recovery story: WRR weight updates,
   // topology changes and TCP loss recovery. (Feedback/flowlet events run to
@@ -141,11 +151,12 @@ int main() {
                 total > 0 ? 100.0 * s2_mass / total : 0.0);
   };
 
-  const sim::Time fail_at = sim::milliseconds(300);
+  // The injector (armed by the Testbed from cfg.fault_plan) does the actual
+  // damage; this callback only narrates it.
   tb.simulator().schedule_at(fail_at, [&] {
-    std::printf("\n*** failing one S2-L2 40G link at t=%s ***\n\n",
+    std::printf("\n*** fault plan: one S2-L2 40G link fails at t=%s "
+                "(routes converge 30ms later) ***\n\n",
                 sim::format_time(fail_at).c_str());
-    tb.fail_s2_l2_link();
   });
   for (int i = 1; i <= 20; ++i) {
     tb.simulator().schedule_at(i * sim::milliseconds(200), [&, i] {
@@ -169,6 +180,23 @@ int main() {
   std::printf("route recomputations: %d, discovery rounds at %s: %d\n",
               tb.topology().route_epoch(), client->name().c_str(),
               client->discovery().rounds_completed());
+  if (const auto* inj = tb.fault_injector()) {
+    std::uint64_t keepalives = 0, evictions = 0, readmissions = 0;
+    for (auto* c : tb.clients()) {
+      if (const auto* ph = c->path_health()) {
+        keepalives += ph->stats().keepalives_sent;
+        evictions += ph->stats().evictions;
+        readmissions += ph->stats().readmissions;
+      }
+    }
+    std::printf("fault plan: %d event(s) applied, %d deferred route "
+                "recompute(s); path health: %llu keepalives, %llu "
+                "evictions, %llu readmissions\n",
+                inj->stats().events_applied, inj->stats().route_recomputes,
+                static_cast<unsigned long long>(keepalives),
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(readmissions));
+  }
 
   std::printf("\nfabric link scoreboard (downstream spine->L2 direction):\n");
   for (std::size_t s = 0; s < tb.fabric().spines.size(); ++s) {

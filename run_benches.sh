@@ -34,3 +34,18 @@ for b in "$repo_root"/build/bench/bench_*; do
   "$b"
   echo
 done
+
+# One-line recovery verdict per scheme from the fault bench's artifact
+# (bench_fault_recovery; see DESIGN.md §8 and scripts/bench_check.py).
+if [ -n "$CLOVE_JSON_OUT" ] && [ -f "$CLOVE_JSON_OUT/BENCH_fault.json" ]; then
+  echo "### fault recovery summary (BENCH_fault.json)"
+  python3 - "$CLOVE_JSON_OUT/BENCH_fault.json" <<'EOF'
+import json, sys
+vals = {v["name"]: v["value"] for v in json.load(open(sys.argv[1]))["values"]}
+for scheme in sorted({n.split(".")[0] for n in vals}):
+    rec = vals.get(f"{scheme}.recovery_ms", -1.0)
+    infl = vals.get(f"{scheme}.fct_inflation_x", 0.0)
+    verdict = "never recovered" if rec < 0 else f"recovered in {rec:.0f} ms"
+    print(f"  {scheme:<14} {verdict:<22} (blackhole mice-FCT inflation {infl:.2f}x)")
+EOF
+fi

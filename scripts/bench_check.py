@@ -24,6 +24,14 @@ carries (stdlib only — this runs in CI before anything is installed):
   cancels out and they get a tight absolute band — the current value must
   stay above baseline - RATIO_SLACK (2 points).
 
+* Recovery times (``*.recovery_ms``, the fault-recovery bench): these are
+  *simulated* milliseconds, so machine speed does not enter at all — only
+  the relative tolerance plus a one-bucket absolute slack (RECOVERY_SLACK_MS)
+  for bucket-boundary jitter. A baseline < 0 means the scheme never
+  recovered (by design for ECMP) and the row is informational; a current
+  value < 0 against a recovering baseline is a hard FAIL — the scheme lost
+  its ability to recover, which no tolerance forgives.
+
 Metrics present in only one of the two files are reported but non-fatal:
 benches gain and lose counters across PRs, and the baseline is refreshed by
 re-running ./run_benches.sh (artifacts land at the repo root by default).
@@ -38,6 +46,7 @@ import sys
 
 ALLOC_SLACK = 0.01  # absolute allocs-per-event slack for amortized housekeeping
 RATIO_SLACK = 0.02  # absolute band for same-run A/B overhead ratios
+RECOVERY_SLACK_MS = 50.0  # one FCT bucket of boundary jitter for recovery times
 DEFAULT_TOLERANCE = 0.25
 
 
@@ -69,6 +78,10 @@ def is_ratio(name):
 def is_latency(name):
     tail = name.rsplit(".", 1)[-1]
     return tail.startswith("ns_per_")
+
+
+def is_recovery(name):
+    return name.endswith(".recovery_ms")
 
 
 def main(argv):
@@ -118,6 +131,20 @@ def main(argv):
             status = "FAIL" if c > ceil else "ok"
             print(f"  [{status}] {name}: {c:.6g} (baseline {b:.6g}, ceiling {ceil:.6g})")
             if c > ceil:
+                failures.append(name)
+        elif is_recovery(name):
+            if b < 0:
+                # Baseline never recovers (ECMP has no edge state to repair);
+                # nothing to hold the current run to.
+                print(f"  [info] {name}: {c:.6g} (baseline never recovers)")
+                continue
+            checked += 1
+            ceil = b * (1.0 + tol) + RECOVERY_SLACK_MS
+            bad = c < 0 or c > ceil
+            status = "FAIL" if bad else "ok"
+            shown = "never" if c < 0 else f"{c:.6g}"
+            print(f"  [{status}] {name}: {shown} (baseline {b:.6g}, ceiling {ceil:.6g})")
+            if bad:
                 failures.append(name)
         # Other values (counters like pool_allocated) are informational.
 

@@ -10,6 +10,7 @@
 #include "lb/presto.hpp"
 #include "net/conga_switch.hpp"
 #include "net/letflow_switch.hpp"
+#include "sim/logging.hpp"
 #include "telemetry/artifact.hpp"
 #include "telemetry/hub.hpp"
 #include "telemetry/scope.hpp"
@@ -88,6 +89,7 @@ overlay::HypervisorConfig Testbed::make_hyp_config() {
   h.measure_latency =
       (cfg_.scheme == Scheme::kCloveLatency) || cfg_.adaptive_flowlet_gap;
   h.tcp = cfg_.tcp;
+  h.path_health = cfg_.path_health;
   return h;
 }
 
@@ -219,6 +221,22 @@ Testbed::Testbed(const ExperimentConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
   }
 
   if (cfg_.asymmetric) fail_s2_l2_link();
+
+  // Arm the fault plan (config first, CLOVE_FAULT_PLAN as fallback) now
+  // that every link and host exists. Events in the past fire immediately.
+  fault::FaultPlan plan = cfg_.fault_plan;
+  if (plan.empty()) {
+    std::string err;
+    plan = fault::FaultPlan::from_env(&err);
+    if (!err.empty()) {
+      CLOVE_WARN(sim_.now(), "harness", "ignoring fault plan: %s",
+                 err.c_str());
+    }
+  }
+  if (!plan.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(*topo_, std::move(plan));
+    injector_->arm();
+  }
 }
 
 void Testbed::start_discovery() {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/topology.hpp"
 #include "overlay/hypervisor.hpp"
 #include "stats/stats.hpp"
@@ -67,6 +68,15 @@ struct ExperimentConfig {
   overlay::TracerouteConfig discovery{};
   sim::Time traffic_start{30 * sim::kMillisecond};
   sim::Time max_sim_time{600 * sim::kSecond};
+
+  /// Scheduled fault events (DESIGN.md §8). When empty, the Testbed falls
+  /// back to CLOVE_FAULT_PLAN from the environment; when that is unset too,
+  /// no injector is armed.
+  fault::FaultPlan fault_plan{};
+  /// Source-side path-health monitoring (keepalives, eviction, re-probe).
+  /// Off by default: the symmetric experiments don't need it and it adds
+  /// timer events to every run.
+  overlay::PathHealthConfig path_health{};
 };
 
 /// Shared result shape for the FCT experiments.
@@ -125,6 +135,11 @@ class Testbed {
     return flight_watch_.get();
   }
 
+  /// The armed fault injector, or null when the effective plan was empty.
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
+
  private:
   std::unique_ptr<lb::Policy> make_policy();
   overlay::HypervisorConfig make_hyp_config();
@@ -136,6 +151,7 @@ class Testbed {
   std::vector<overlay::Hypervisor*> clients_;
   std::vector<overlay::Hypervisor*> servers_;
   std::unique_ptr<stats::TimeSeriesSet> flight_watch_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 /// Run the §5/§6 client-server FCT workload for one (scheme, load) point.

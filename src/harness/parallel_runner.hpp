@@ -36,6 +36,12 @@ namespace clove::harness {
 ///
 /// map() delivers results in input order regardless of completion order, so
 /// artifact files and stdout summaries are deterministic too.
+///
+/// Lifecycle: construction only records the thread count — workers are
+/// spawned per run_all() call and joined before it returns, so a runner is
+/// cheap to create, reusable for consecutive batches, and holds no threads
+/// while idle. run_all() is not itself thread-safe (one batch at a time)
+/// and must not be called from inside one of its own tasks.
 class ParallelRunner {
  public:
   using Task = std::function<void()>;
@@ -58,7 +64,11 @@ class ParallelRunner {
   void run_all(std::vector<Task> tasks);
 
   /// run_all() for value-returning functions: results come back in input
-  /// order, not completion order.
+  /// order, not completion order. R must be default-constructible (results
+  /// are pre-sized) and move-assignable. If any task throws, the first
+  /// exception by *input order* propagates after all tasks finish — the
+  /// slots of throwing tasks are left default-constructed, but the caller
+  /// never sees them.
   template <typename R>
   [[nodiscard]] std::vector<R> map(std::vector<std::function<R()>> fns) {
     std::vector<R> results(fns.size());

@@ -219,6 +219,41 @@ void CloveEcnPolicy::on_feedback(net::IpAddr dst, const net::CloveFeedback& fb,
   }
 }
 
+void CloveEcnPolicy::on_path_evicted(net::IpAddr dst, std::uint16_t port,
+                                     sim::Time now) {
+  last_now_ = now;
+  auto it = dsts_.find(dst);
+  if (it == dsts_.end()) return;
+  DstState& st = it->second;
+  const auto pit =
+      std::find_if(st.paths.begin(), st.paths.end(),
+                   [port](const PathState& p) { return p.info.port == port; });
+  if (pit == st.paths.end()) return;
+  st.paths.erase(pit);
+
+  // Renormalize proportionally: the dead path's mass spreads over survivors
+  // in the ratio they already held (unlike ECN reduction, nothing here says
+  // which survivor deserves it more).
+  double total = 0.0;
+  for (const auto& p : st.paths) total += p.weight;
+  if (total > 0.0) {
+    for (auto& p : st.paths) p.weight /= total;
+  } else if (!st.paths.empty()) {
+    const double uniform = 1.0 / static_cast<double>(st.paths.size());
+    for (auto& p : st.paths) p.weight = uniform;
+  }
+
+  if (telemetry::tracing()) {
+    for (const auto& p : st.paths) {
+      char detail[48];
+      std::snprintf(detail, sizeof(detail), "dst %u via %u evict_renorm", dst,
+                    p.info.hops.size() > 1 ? p.info.hops[1].node : 0);
+      telemetry::trace(telemetry::Category::kWeight, now, owner(),
+                       "clove.weight", detail, p.weight, p.info.port);
+    }
+  }
+}
+
 bool CloveEcnPolicy::all_paths_congested(net::IpAddr dst, sim::Time now) const {
   auto it = dsts_.find(dst);
   if (it == dsts_.end() || it->second.paths.empty()) return false;

@@ -51,6 +51,8 @@ class CloveEcnPolicy : public Policy {
   void on_paths_updated(net::IpAddr dst, const overlay::PathSet& paths) override;
   void on_feedback(net::IpAddr dst, const net::CloveFeedback& fb,
                    sim::Time now) override;
+  void on_path_evicted(net::IpAddr dst, std::uint16_t port,
+                       sim::Time now) override;
 
   [[nodiscard]] bool wants_ect() const override { return true; }
   [[nodiscard]] bool needs_discovery() const override { return true; }

@@ -27,6 +27,26 @@ struct PickInfo {
 /// The vswitch calls pick_port() for every outgoing tenant data packet;
 /// policies implement their own granularity internally (per-flow hash,
 /// flowlets, Presto flowcells, ...).
+///
+/// Contract, in the order the hypervisor drives it:
+///  1. set_owner() once at attach (names the emitter in trace events).
+///  2. on_paths_updated() whenever discovery completes a round for a dst —
+///     including with a SMALLER or EMPTY set after a path-health eviction.
+///     Policies must carry what per-path state they can across refreshes
+///     (keyed by path signature) and must tolerate an empty set: pick_port()
+///     is still called and must return a usable port (flow-hash fallback),
+///     never crash or stall.
+///  3. pick_port() per data packet; on_feedback() per arriving feedback
+///     packet. Both may run millions of times — no allocation on the steady
+///     path.
+///  4. on_path_evicted() when path-health declares a port dead, immediately
+///     before discovery publishes the shrunken set. Policies should drop the
+///     port's state and renormalize weights; flowlets pinned to the port
+///     will be re-picked on their next packet. The default no-op is correct
+///     for policies whose on_paths_updated() rebuilds from scratch.
+/// The capability queries (wants_ect / wants_int / needs_discovery /
+/// requires_reassembly) are called once at attach time and must be
+/// constant for the policy's lifetime.
 class Policy {
  public:
   virtual ~Policy() = default;
@@ -48,6 +68,19 @@ class Policy {
   virtual void on_paths_updated(net::IpAddr dst, const overlay::PathSet& paths) {
     (void)dst;
     (void)paths;
+  }
+
+  /// Path-health monitoring evicted `port` for dst (keepalives unanswered /
+  /// no feedback within the staleness window). Called before the shrunken
+  /// path set is re-published via on_paths_updated(); policies that keep
+  /// per-port state (weights, congestion marks) should drop the entry and
+  /// renormalize so traffic re-spreads instantly instead of waiting for the
+  /// next discovery round.
+  virtual void on_path_evicted(net::IpAddr dst, std::uint16_t port,
+                               sim::Time now) {
+    (void)dst;
+    (void)port;
+    (void)now;
   }
 
   /// Feedback bits arrived from the destination hypervisor (ECN/INT/latency).

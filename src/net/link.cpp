@@ -23,6 +23,7 @@ Link::Link(sim::Simulator& sim, LinkId id, std::string name, Node* dst,
   cells_.tx_bytes = reg.counter("link.tx_bytes", labels);
   cells_.drops_overflow = reg.counter("link.drops_overflow", labels);
   cells_.drops_down = reg.counter("link.drops_down", labels);
+  cells_.drops_fault = reg.counter("link.drops_fault", labels);
   cells_.ecn_marks = reg.counter("link.ecn_marks", labels);
   cells_.queue_high_watermark =
       reg.gauge("link.queue_high_watermark_bytes", labels);
@@ -35,6 +36,21 @@ void Link::enqueue(PacketPtr pkt) {
     if (auto* fr = telemetry::flight()) {
       fr->on_drop(pkt->uid, dst_ != nullptr ? dst_->id() : 0, name_,
                   telemetry::JourneyOutcome::kDropLinkDown, sim_.now());
+    }
+    return;
+  }
+  if (fault_drop_prob_ > 0.0 && fault_rng_.uniform() < fault_drop_prob_) {
+    // Injected gray failure: the packet vanishes with no observable signal
+    // on the link itself — the only evidence is missing deliveries.
+    ++stats_.drops_fault;
+    if (telemetry::enabled()) cells_.drops_fault->add();
+    if (telemetry::tracing()) {
+      telemetry::trace(telemetry::Category::kFault, sim_.now(), name_,
+                       "link.fault_drop", pkt->to_string(), fault_drop_prob_);
+    }
+    if (auto* fr = telemetry::flight()) {
+      fr->on_drop(pkt->uid, dst_ != nullptr ? dst_->id() : 0, name_,
+                  telemetry::JourneyOutcome::kDropFault, sim_.now());
     }
     return;
   }
@@ -200,6 +216,28 @@ void Link::down() {
   }
   in_flight_.reset();
   busy_ = false;
+}
+
+void Link::set_capacity_factor(double factor) {
+  capacity_factor_ = std::clamp(factor, 1e-3, 1.0);
+  memo_bytes_ = -1;  // cached serialization delay is for the old rate
+  // Re-base the DRE on the degraded line rate: a link running at 25% that is
+  // 25% full is saturated, and INT/CONGA must see it that way.
+  dre_.configure(cfg_.dre_alpha, cfg_.dre_interval,
+                 cfg_.rate_bytes_per_sec * capacity_factor_);
+  if (telemetry::tracing()) {
+    telemetry::trace(telemetry::Category::kFault, sim_.now(), name_,
+                     "link.capacity_factor", "", capacity_factor_);
+  }
+}
+
+void Link::set_fault_drop(double p, std::uint64_t seed) {
+  fault_drop_prob_ = std::clamp(p, 0.0, 1.0);
+  if (fault_drop_prob_ > 0.0) fault_rng_.reseed(seed);
+  if (telemetry::tracing()) {
+    telemetry::trace(telemetry::Category::kFault, sim_.now(), name_,
+                     "link.fault_drop_prob", "", fault_drop_prob_);
+  }
 }
 
 void Link::up() {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/packet.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/dre.hpp"
 #include "telemetry/metrics.hpp"
@@ -35,6 +36,7 @@ struct LinkStats {
   std::uint64_t tx_bytes{0};
   std::uint64_t drops_overflow{0};
   std::uint64_t drops_down{0};
+  std::uint64_t drops_fault{0};  ///< injected probabilistic silent drops
   std::uint64_t ecn_marks{0};
   std::int64_t max_queue_bytes{0};
 };
@@ -85,10 +87,27 @@ class Link {
   /// queues, not switch ports, and real deployments do not mark them).
   void set_ecn_marking(bool on) { cfg_.ecn_marking = on; }
 
-  /// Idealized time to serialize `bytes` on this link (used by tests).
+  /// Idealized time to serialize `bytes` on this link at its current
+  /// (possibly degraded) effective rate (used by tests).
   [[nodiscard]] sim::Time serialization_delay(std::int64_t bytes) const {
-    return sim::transmission_delay(bytes, cfg_.rate_bytes_per_sec);
+    return sim::transmission_delay(bytes,
+                                   cfg_.rate_bytes_per_sec * capacity_factor_);
   }
+
+  // --- fault-injection hooks (clove::fault) -------------------------------
+
+  /// Scale the effective transmit rate to `factor` x nominal (partial
+  /// capacity degradation — a flapping optic, a mis-negotiated lane). The
+  /// DRE is re-based on the degraded rate so utilization-derived signals
+  /// (INT, CONGA) see the link as it really is. Restores cleanly at 1.0.
+  void set_capacity_factor(double factor);
+  [[nodiscard]] double capacity_factor() const { return capacity_factor_; }
+
+  /// Drop each offered packet with probability `p` — silently: no ECN mark,
+  /// no down-event, exactly the gray failure routing cannot see. `seed`
+  /// makes the drop sequence reproducible per link. p = 0 disables.
+  void set_fault_drop(double p, std::uint64_t seed);
+  [[nodiscard]] double fault_drop_prob() const { return fault_drop_prob_; }
 
  private:
   void start_tx();
@@ -120,6 +139,9 @@ class Link {
   util::RingDeque<std::pair<sim::Time, PacketPtr>> propagating_;
   sim::EventId prop_wake_{};       ///< pending deliver_front wake, if any
   bool down_{false};
+  double capacity_factor_{1.0};    ///< effective-rate scale (fault injection)
+  double fault_drop_prob_{0.0};    ///< per-packet silent-drop probability
+  sim::Rng fault_rng_{0};          ///< reseeded by set_fault_drop
 
   telemetry::Dre dre_;
   LinkStats stats_;
@@ -131,6 +153,7 @@ class Link {
     telemetry::Counter* tx_bytes;
     telemetry::Counter* drops_overflow;
     telemetry::Counter* drops_down;
+    telemetry::Counter* drops_fault;
     telemetry::Counter* ecn_marks;
     telemetry::Gauge* queue_high_watermark;
   };

@@ -27,7 +27,13 @@ Hypervisor::Hypervisor(net::NodeId id, std::string name, sim::Simulator& sim,
       [this](net::PacketPtr p) { nic_send(std::move(p)); },
       [this](net::IpAddr dst, const PathSet& ps) {
         policy_->on_paths_updated(dst, ps);
+        if (path_health_) path_health_->on_paths_updated(dst, ps);
       });
+  if (cfg_.path_health.enabled) {
+    path_health_ = std::make_unique<PathHealthMonitor>(
+        sim_, this->name(), cfg_.path_health, traceroute_.get(),
+        policy_.get());
+  }
   if (cfg_.reorder_buffer) {
     reorder_ = std::make_unique<ReorderBuffer>(
         sim_, cfg_.reorder,
@@ -104,6 +110,7 @@ void Hypervisor::vm_send(net::PacketPtr pkt) {
   pkt->invalidate_wire_hash();
   (void)pkt->wire_hash();
 
+  if (path_health_) path_health_->note_sent(dst, port, sim_.now());
   attach_feedback(dst, *pkt);
   pkt->sent_at = sim_.now();  // NIC timestamp for one-way-delay telemetry
   pkt->ttl = 64;
@@ -160,6 +167,38 @@ void Hypervisor::note_feedback(
   auto [fb, inserted] = pf.ports.try_emplace(port);
   if (inserted) pf.rr_order.push_back(port);
   update(*fb);
+}
+
+void Hypervisor::set_feedback_loss(double p, std::uint64_t seed) {
+  fb_loss_ = p;
+  if (fb_loss_ > 0.0) fb_rng_.reseed(seed);
+}
+
+void Hypervisor::deliver_feedback(net::IpAddr peer,
+                                  const net::CloveFeedback& fb) {
+  if (fb_loss_ > 0.0 && fb_rng_.uniform() < fb_loss_) {
+    ++stats_.feedback_lost_fault;
+    if (telemetry::tracing()) {
+      telemetry::trace(telemetry::Category::kFault, sim_.now(), name(),
+                       "feedback.fault_lost", "", fb_loss_, fb.port);
+    }
+    return;
+  }
+  if (fb_delay_ > 0) {
+    ++stats_.feedback_delayed_fault;
+    const net::CloveFeedback copy = fb;
+    sim_.schedule_in(fb_delay_,
+                     [this, peer, copy] { apply_feedback(peer, copy); });
+    return;
+  }
+  apply_feedback(peer, fb);
+}
+
+void Hypervisor::apply_feedback(net::IpAddr peer, const net::CloveFeedback& fb) {
+  policy_->on_feedback(peer, fb, sim_.now());
+  // Any feedback naming one of our forward ports proves that path delivers
+  // in both directions — evidence of life for the health monitor.
+  if (path_health_) path_health_->note_alive(peer, fb.port, sim_.now());
 }
 
 // ---------------------------------------------------------------------------
@@ -247,7 +286,7 @@ void Hypervisor::handle_data(net::PacketPtr pkt) {
     if (pkt->encap.feedback.present) {
       ++stats_.feedback_received;
       if (telemetry::enabled()) cells_.feedback_received->add();
-      policy_->on_feedback(peer, pkt->encap.feedback, sim_.now());
+      deliver_feedback(peer, pkt->encap.feedback);
     }
     // Decapsulate. Outer CE is deliberately NOT copied to the inner header.
     pkt->encap = net::EncapHeader{};
@@ -264,7 +303,7 @@ void Hypervisor::handle_data(net::PacketPtr pkt) {
     if (pkt->encap.feedback.present) {
       ++stats_.feedback_received;
       if (telemetry::enabled()) cells_.feedback_received->add();
-      policy_->on_feedback(peer, pkt->encap.feedback, sim_.now());
+      deliver_feedback(peer, pkt->encap.feedback);
       pkt->encap.feedback = net::CloveFeedback{};
     }
     if (pkt->tcp.ce) {

@@ -6,8 +6,10 @@
 
 #include "lb/policy.hpp"
 #include "net/node.hpp"
+#include "overlay/path_health.hpp"
 #include "overlay/reorder_buffer.hpp"
 #include "overlay/traceroute.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
 #include "transport/tcp.hpp"
@@ -26,6 +28,8 @@ struct HypervisorConfig {
   ReorderConfig reorder{};
   /// Path discovery settings (used when the policy needs_discovery()).
   TracerouteConfig discovery{};
+  /// Source-side path-health monitoring (keepalives, staleness eviction).
+  PathHealthConfig path_health{};
   /// Measure one-way delay and relay it (Clove-Latency extension, §7).
   bool measure_latency{false};
   /// TCP config used for auto-created receivers.
@@ -43,6 +47,8 @@ struct HypervisorStats {
   std::uint64_t dest_probe_replies{0};
   std::uint64_t local_deliveries{0};
   std::uint64_t no_endpoint_drops{0};
+  std::uint64_t feedback_lost_fault{0};     ///< injected feedback losses
+  std::uint64_t feedback_delayed_fault{0};  ///< injected feedback delays
 };
 
 /// A hypervisor host: the tenant-VM TCP endpoints above, the physical NIC
@@ -80,6 +86,15 @@ class Hypervisor : public net::Node, public transport::VmPort {
   [[nodiscard]] lb::Policy& policy() { return *policy_; }
   [[nodiscard]] const HypervisorStats& stats() const { return stats_; }
   [[nodiscard]] const HypervisorConfig& config() const { return cfg_; }
+  /// Path-health monitor; null unless config().path_health.enabled.
+  [[nodiscard]] PathHealthMonitor* path_health() { return path_health_.get(); }
+
+  // --- fault-injection hooks (clove::fault) ------------------------------
+  /// Drop each arriving feedback relay with probability `p` before the
+  /// policy sees it (models a lossy/filtered reverse channel).
+  void set_feedback_loss(double p, std::uint64_t seed);
+  /// Defer arriving feedback by `delay` before the policy sees it.
+  void set_feedback_delay(sim::Time delay) { fb_delay_ = delay; }
 
  private:
   /// Pending feedback accumulated for one (peer, forward source port).
@@ -105,12 +120,20 @@ class Hypervisor : public net::Node, public transport::VmPort {
   void attach_feedback(net::IpAddr peer, net::Packet& pkt);
   void note_feedback(net::IpAddr peer, std::uint16_t port,
                      const std::function<void(PendingFeedback&)>& update);
+  /// Route an arriving feedback relay through the (possibly faulted)
+  /// delivery path to the policy + path-health monitor.
+  void deliver_feedback(net::IpAddr peer, const net::CloveFeedback& fb);
+  void apply_feedback(net::IpAddr peer, const net::CloveFeedback& fb);
 
   sim::Simulator& sim_;
   HypervisorConfig cfg_;
   std::unique_ptr<lb::Policy> policy_;
   std::unique_ptr<TracerouteDaemon> traceroute_;
   std::unique_ptr<ReorderBuffer> reorder_;
+  std::unique_ptr<PathHealthMonitor> path_health_;
+  double fb_loss_{0.0};       ///< injected feedback-loss probability
+  sim::Time fb_delay_{0};     ///< injected feedback delivery delay
+  sim::Rng fb_rng_{0};        ///< reseeded by set_feedback_loss
 
   // Per-delivered-packet endpoint demux and per-ingress-packet feedback
   // state live on open-addressing maps: one probe, no node allocations.

@@ -62,7 +62,57 @@ void TracerouteDaemon::probe_now(net::IpAddr dst) {
   sim_.schedule_in(cfg_.probe_timeout, [this, dst] { finish_round(dst); });
 }
 
+void TracerouteDaemon::keepalive(net::IpAddr dst, std::uint16_t port,
+                                 KeepaliveFn done) {
+  const std::uint32_t id = next_round_id_++;
+  keepalives_.emplace(id, Keepalive{dst, port, std::move(done)});
+
+  auto probe = net::make_packet(sim_);
+  probe->encap.present = true;
+  probe->encap.tuple =
+      net::FiveTuple{self_, dst, port, kSttPort, net::Proto::kStt};
+  probe->inner = probe->encap.tuple;
+  probe->payload = 0;
+  probe->ttl = 64;  // no ladder: only the destination's answer matters
+  probe->probe.probe_id = id;
+  probe->probe.probed_port = port;
+  probe->probe.hop_index = 64;
+  probe->sent_at = sim_.now();
+  ++probes_sent_;
+  ++keepalives_sent_;
+  send_(std::move(probe));
+
+  sim_.schedule_in(cfg_.probe_timeout, [this, id] {
+    auto it = keepalives_.find(id);
+    if (it == keepalives_.end()) return;  // answered in time
+    Keepalive ka = std::move(it->second);
+    keepalives_.erase(it);
+    if (ka.done) ka.done(ka.dst, ka.port, false);
+  });
+}
+
+bool TracerouteDaemon::evict_port(net::IpAddr dst, std::uint16_t port) {
+  auto it = dsts_.find(dst);
+  if (it == dsts_.end()) return false;
+  auto& paths = it->second.current.paths;
+  const auto pit =
+      std::find_if(paths.begin(), paths.end(),
+                   [port](const PathInfo& p) { return p.port == port; });
+  if (pit == paths.end()) return false;
+  paths.erase(pit);
+  if (on_paths_) on_paths_(dst, it->second.current);
+  return true;
+}
+
 void TracerouteDaemon::on_reply(const net::Packet& pkt) {
+  if (auto kit = keepalives_.find(pkt.probe.probe_id);
+      kit != keepalives_.end()) {
+    if (!pkt.probe.from_destination) return;  // mid-path echo: not liveness
+    Keepalive ka = std::move(kit->second);
+    keepalives_.erase(kit);
+    if (ka.done) ka.done(ka.dst, ka.port, true);
+    return;
+  }
   auto oit = round_owner_.find(pkt.probe.probe_id);
   if (oit == round_owner_.end()) return;  // a stale round's straggler
   DstState& st = dsts_[oit->second];

@@ -35,6 +35,10 @@ class TracerouteDaemon {
   using SendFn = std::function<void(net::PacketPtr)>;
   /// Fired when a round completes with a fresh path set for `dst`.
   using PathsCallback = std::function<void(net::IpAddr dst, const PathSet&)>;
+  /// Result of a single-port keepalive: alive iff the destination answered
+  /// within probe_timeout.
+  using KeepaliveFn =
+      std::function<void(net::IpAddr dst, std::uint16_t port, bool alive)>;
 
   TracerouteDaemon(sim::Simulator& sim, net::IpAddr self,
                    const TracerouteConfig& cfg, SendFn send,
@@ -49,8 +53,22 @@ class TracerouteDaemon {
   /// or destination reply).
   void on_reply(const net::Packet& pkt);
 
+  /// Send one max-TTL probe over `port` (no TTL ladder — a liveness check,
+  /// not a trace) and report whether the destination answered within
+  /// probe_timeout. Used by path-health monitoring to confirm a suspect
+  /// path end-to-end without waiting for the next full round.
+  void keepalive(net::IpAddr dst, std::uint16_t port, KeepaliveFn done);
+
+  /// Remove `port` from dst's current path set (path-health eviction) and
+  /// fire the paths callback — even when the set becomes empty, so policies
+  /// can drain their per-path state. Returns true when the port was present.
+  bool evict_port(net::IpAddr dst, std::uint16_t port);
+
   [[nodiscard]] const PathSet* paths(net::IpAddr dst) const;
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] std::uint64_t keepalives_sent() const {
+    return keepalives_sent_;
+  }
   [[nodiscard]] int rounds_completed() const { return rounds_completed_; }
 
   /// Exposed for tests: the greedy disjoint-path selection.
@@ -73,6 +91,11 @@ class TracerouteDaemon {
     Round round;
     bool scheduled{false};
   };
+  struct Keepalive {
+    net::IpAddr dst{0};
+    std::uint16_t port{0};
+    KeepaliveFn done;
+  };
 
   void finish_round(net::IpAddr dst);
   void schedule_next(net::IpAddr dst);
@@ -86,8 +109,12 @@ class TracerouteDaemon {
 
   std::unordered_map<net::IpAddr, DstState> dsts_;
   std::unordered_map<std::uint32_t, net::IpAddr> round_owner_;
+  /// Outstanding keepalives keyed by probe id (shares the round id space so
+  /// replies demultiplex unambiguously).
+  std::unordered_map<std::uint32_t, Keepalive> keepalives_;
   std::uint32_t next_round_id_{1};
   std::uint64_t probes_sent_{0};
+  std::uint64_t keepalives_sent_{0};
   int rounds_completed_{0};
 };
 

@@ -25,6 +25,7 @@ const char* journey_outcome_name(JourneyOutcome o) {
     case JourneyOutcome::kDropLinkDown: return "drop_link_down";
     case JourneyOutcome::kDropNoRoute: return "drop_no_route";
     case JourneyOutcome::kDropTtl: return "drop_ttl";
+    case JourneyOutcome::kDropFault: return "drop_fault";
   }
   return "?";
 }

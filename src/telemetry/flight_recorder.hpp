@@ -63,6 +63,7 @@ enum class JourneyOutcome : std::uint8_t {
   kDropLinkDown,   ///< lost on a failed link
   kDropNoRoute,
   kDropTtl,
+  kDropFault,      ///< probabilistic silent drop injected by clove::fault
 };
 
 [[nodiscard]] const char* journey_outcome_name(JourneyOutcome o);

@@ -14,6 +14,7 @@ const char* category_name(Category c) {
     case Category::kWeight: return "weight";
     case Category::kTopology: return "topology";
     case Category::kTcp: return "tcp";
+    case Category::kFault: return "fault";
   }
   return "?";
 }
@@ -23,7 +24,7 @@ unsigned parse_category_mask(const std::string& list) {
   static constexpr Category kAll[] = {
       Category::kQueue,    Category::kPath,   Category::kFlowlet,
       Category::kFeedback, Category::kWeight, Category::kTopology,
-      Category::kTcp,
+      Category::kTcp,      Category::kFault,
   };
   unsigned mask = 0;
   std::size_t start = 0;

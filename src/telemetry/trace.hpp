@@ -18,9 +18,10 @@ enum class Category : unsigned {
   kWeight = 1u << 4,    ///< Clove WRR weight updates
   kTopology = 1u << 5,  ///< link failed / restored, route recomputes
   kTcp = 1u << 6,       ///< guest TCP timeouts / fast retransmits
+  kFault = 1u << 7,     ///< injected faults + path-health transitions
 };
 
-inline constexpr unsigned kAllCategories = 0x7f;
+inline constexpr unsigned kAllCategories = 0xff;
 
 [[nodiscard]] const char* category_name(Category c);
 /// Parse a comma-separated category list ("weight,tcp") into a mask;

@@ -59,10 +59,15 @@ class FlatMap {
   FlatMap() = default;
   explicit FlatMap(Hash hash) : hash_(std::move(hash)) {}
 
+  /// Live entries (tombstones excluded).
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Slot-array size (power of two, >= kMinCapacity once non-empty). The
+  /// table rehashes when live + tombstoned slots exceed 3/4 of this.
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
+  /// Drop all entries and release the slot array (also resets the sweep
+  /// cursor). Invalidates every handle and iterator.
   void clear() {
     slots_.clear();
     size_ = 0;
@@ -77,6 +82,8 @@ class FlatMap {
     if (cap > slots_.size()) rehash(cap);
   }
 
+  /// Entry handle for `key`, or nullptr. The handle obeys the pointer
+  /// stability contract above: valid across erases, dead after a rehash.
   [[nodiscard]] Value* find(const Key& key) {
     Slot* s = find_slot(key);
     return s != nullptr ? &s->value : nullptr;
@@ -119,6 +126,8 @@ class FlatMap {
     }
   }
 
+  /// try_emplace() sugar: value reference for `key`, default-constructed
+  /// when absent (may rehash, like any insert).
   Value& operator[](const Key& key) { return *try_emplace(key).first; }
 
   /// Erase by key; entry handles to other keys stay valid.
@@ -134,6 +143,10 @@ class FlatMap {
   // it = map.erase(it). Iterators (like handles) survive erases but not
   // rehashes.
 
+  /// Slot-order iterator (not insertion order). Exposes key()/value()
+  /// accessors instead of operator* because a Slot is not a std::pair and
+  /// keys must stay immutable in place (moving a key would orphan its probe
+  /// sequence).
   template <bool Const>
   class Iter {
     using SlotPtr = std::conditional_t<Const, const Slot*, Slot*>;
@@ -196,6 +209,13 @@ class FlatMap {
   /// is true. O(max_slots) per call regardless of table size — the
   /// incremental replacement for full-table expiry scans. Returns the
   /// number of entries erased.
+  ///
+  /// Expiry is therefore bounded-stale: an entry the predicate would erase
+  /// survives until the cursor next reaches its slot (at most
+  /// capacity/max_slots calls later). Callers must tolerate that staleness
+  /// — e.g. the FlowletTracker keeps its idle floor well above the flowlet
+  /// gap so a late sweep can never change a routing decision. The cursor
+  /// resets on rehash (slots renumber), so growth restarts the cycle.
   template <typename Pred>
   std::size_t sweep(std::size_t max_slots, Pred&& pred) {
     if (slots_.empty() || size_ == 0) return 0;

@@ -106,6 +106,7 @@ void ClientServerWorkload::job_done(std::uint64_t size, sim::Time arrival,
                                     sim::Time finished) {
   fct_.add(size, sim::to_seconds(finished - arrival));
   ++jobs_done_;
+  if (on_job) on_job(size, arrival, finished);
   if (jobs_done_ == jobs_total_ && on_complete_) on_complete_();
 }
 

@@ -58,6 +58,12 @@ class ClientServerWorkload {
   /// afterwards; `on_complete` fires when the last job finishes.
   void start(std::function<void()> on_complete = nullptr);
 
+  /// Optional per-job completion tap (size, arrival, finish) — lets callers
+  /// bucket FCTs by completion time (e.g. recovery benches). Set before
+  /// start(); fires in addition to the aggregate FctRecorder.
+  std::function<void(std::uint64_t size, sim::Time arrival, sim::Time finished)>
+      on_job;
+
   [[nodiscard]] stats::FctRecorder& fct() { return fct_; }
   [[nodiscard]] std::uint64_t jobs_total() const { return jobs_total_; }
   [[nodiscard]] std::uint64_t jobs_done() const { return jobs_done_; }

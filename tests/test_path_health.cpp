@@ -1,0 +1,302 @@
+// Path-health monitoring (DESIGN.md §8): keepalives over the real fabric,
+// the live -> suspect -> evicted -> re-probed state machine, policy weight
+// renormalization on eviction, and the two feedback/discovery degradation
+// cases the fault model calls out — total feedback loss must not starve a
+// path forever, and a discovery round losing probes mid-flight must still
+// yield a usable (partial) path set.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lb/clove_ecn.hpp"
+#include "net/topology.hpp"
+#include "overlay/hypervisor.hpp"
+#include "overlay/path_health.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace clove::overlay {
+namespace {
+
+class PathHealthFixture : public ::testing::Test {
+ protected:
+  void build() {
+    topo = std::make_unique<net::Topology>(sim);
+    net::LeafSpineConfig cfg;
+    cfg.hosts_per_leaf = 2;
+    fabric = net::build_leaf_spine(
+        *topo, cfg,
+        [this](net::Topology& t, const std::string& name, int) -> net::Node* {
+          HypervisorConfig h;
+          h.discovery.probe_interval = 100 * sim::kMillisecond;
+          h.discovery.probe_timeout = 5 * sim::kMillisecond;
+          h.path_health.enabled = true;
+          return t.add_host<Hypervisor>(name, sim, h,
+                                        std::make_unique<lb::CloveEcnPolicy>());
+        });
+    src = static_cast<Hypervisor*>(fabric.hosts_by_leaf[0][0]);
+    dst = static_cast<Hypervisor*>(fabric.hosts_by_leaf[1][0]);
+  }
+
+  void discover() {
+    src->start_discovery({dst->ip()});
+    sim.run(sim.now() + sim::milliseconds(10));
+    ASSERT_NE(src->discovery().paths(dst->ip()), nullptr);
+  }
+
+  /// Cut every spine->L2 connection: all paths from L1 to L2 go dark while
+  /// routing (fail_connection recomputes immediately) drops the prefix, so
+  /// in-flight probes and keepalives die in the fabric.
+  void cut_leaf2() {
+    for (std::size_t s = 0; s < fabric.fabric_links[1].size(); ++s) {
+      for (net::Link* l : fabric.fabric_links[1][s]) {
+        if (!l->is_down()) topo->fail_connection(l);
+      }
+    }
+  }
+
+  void heal_leaf2() {
+    for (std::size_t s = 0; s < fabric.fabric_links[1].size(); ++s) {
+      for (net::Link* l : fabric.fabric_links[1][s]) {
+        if (l->is_down()) topo->restore_connection(l);
+      }
+    }
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<net::Topology> topo;
+  net::LeafSpine fabric;
+  Hypervisor* src{nullptr};
+  Hypervisor* dst{nullptr};
+};
+
+TEST_F(PathHealthFixture, KeepaliveAckOnHealthyFabric) {
+  build();
+  discover();
+  const PathSet* ps = src->discovery().paths(dst->ip());
+  bool called = false, alive = false;
+  src->discovery().keepalive(dst->ip(), ps->paths[0].port,
+                             [&](net::IpAddr, std::uint16_t, bool ok) {
+                               called = true;
+                               alive = ok;
+                             });
+  sim.run(sim.now() + sim::milliseconds(10));
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(alive);
+  EXPECT_EQ(src->discovery().keepalives_sent(), 1u);
+}
+
+TEST_F(PathHealthFixture, KeepaliveTimesOutWhenUnreachable) {
+  build();
+  discover();
+  const std::uint16_t port = src->discovery().paths(dst->ip())->paths[0].port;
+  cut_leaf2();
+  bool called = false, alive = true;
+  src->discovery().keepalive(dst->ip(), port,
+                             [&](net::IpAddr, std::uint16_t, bool ok) {
+                               called = true;
+                               alive = ok;
+                             });
+  sim.run(sim.now() + sim::milliseconds(10));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(alive);
+}
+
+TEST_F(PathHealthFixture, SuspectPortRecoversViaKeepalive) {
+  build();
+  discover();
+  auto* ph = src->path_health();
+  ASSERT_NE(ph, nullptr);
+  const std::uint16_t port = src->discovery().paths(dst->ip())->paths[0].port;
+
+  // Offered traffic with no feedback on a healthy-but-quiet path: the
+  // monitor must suspect it (staleness), confirm liveness end to end, and
+  // leave it alone.
+  ph->note_sent(dst->ip(), port, sim.now());
+  sim.run(sim.now() + sim::milliseconds(30));
+  EXPECT_EQ(ph->health(dst->ip(), port),
+            PathHealthMonitor::PortHealth::kLive);
+  EXPECT_GE(ph->stats().suspects, 1u);
+  EXPECT_GE(ph->stats().keepalive_acks, 1u);
+  EXPECT_EQ(ph->stats().evictions, 0u);
+}
+
+TEST_F(PathHealthFixture, DeadPathsEvictedAndPolicyRenormalized) {
+  build();
+  discover();
+  auto* ph = src->path_health();
+  ASSERT_NE(ph, nullptr);
+  const PathSet before = *src->discovery().paths(dst->ip());
+  ASSERT_GE(before.size(), 2u);
+
+  cut_leaf2();
+  for (const PathInfo& p : before.paths) {
+    ph->note_sent(dst->ip(), p.port, sim.now());
+  }
+  // staleness (4ms) + 3 keepalive timeouts (5ms each) + backoff: well under
+  // 60ms for every port.
+  sim.run(sim.now() + sim::milliseconds(60));
+
+  EXPECT_EQ(ph->stats().evictions, before.size());
+  for (const PathInfo& p : before.paths) {
+    EXPECT_EQ(ph->health(dst->ip(), p.port),
+              PathHealthMonitor::PortHealth::kEvicted);
+  }
+  // The daemon republished the shrunken set down to nothing (paths() reports
+  // an empty set as "no paths known") and the policy dropped its per-path
+  // state with it.
+  EXPECT_EQ(src->discovery().paths(dst->ip()), nullptr);
+  auto* pol = static_cast<lb::CloveEcnPolicy*>(&src->policy());
+  EXPECT_TRUE(pol->weights(dst->ip()).empty());
+
+  // pick_port must still answer (flow-hash fallback), never crash or stall.
+  auto pkt = testutil::make_data(testutil::tuple(src->ip(), dst->ip()), 1, 1000);
+  (void)src->policy().pick_port(*pkt, dst->ip(), sim.now());
+}
+
+TEST_F(PathHealthFixture, PartialEvictionRenormalizesSurvivors) {
+  build();
+  discover();
+  auto* ph = src->path_health();
+  const PathSet before = *src->discovery().paths(dst->ip());
+  ASSERT_GE(before.size(), 3u);
+  auto* pol = static_cast<lb::CloveEcnPolicy*>(&src->policy());
+
+  // Evict exactly one port by hand (the monitor's own trigger is exercised
+  // above); the surviving weights must renormalize to ~1 instantly.
+  const std::uint16_t victim = before.paths[0].port;
+  pol->on_path_evicted(dst->ip(), victim, sim.now());
+  src->discovery().evict_port(dst->ip(), victim);
+
+  const PathSet* after = src->discovery().paths(dst->ip());
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->size(), before.size() - 1);
+  const auto w = pol->weights(dst->ip());
+  ASSERT_EQ(w.size(), after->size());
+  double total = 0.0;
+  for (double x : w) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  (void)ph;
+}
+
+TEST_F(PathHealthFixture, EvictedPortReadmittedAfterHeal) {
+  build();
+  discover();
+  auto* ph = src->path_health();
+  const PathSet before = *src->discovery().paths(dst->ip());
+
+  cut_leaf2();
+  for (const PathInfo& p : before.paths) {
+    ph->note_sent(dst->ip(), p.port, sim.now());
+  }
+  sim.run(sim.now() + sim::milliseconds(60));
+  ASSERT_EQ(ph->stats().evictions, before.size());
+
+  // The link returns. Evicted ports keep re-probing at the capped backoff;
+  // the first ack triggers an immediate discovery round and the republished
+  // set readmits the healed paths.
+  heal_leaf2();
+  sim.run(sim.now() + sim::milliseconds(400));
+  EXPECT_GE(ph->stats().readmissions, 1u);
+  const PathSet* after = src->discovery().paths(dst->ip());
+  ASSERT_NE(after, nullptr);
+  EXPECT_GE(after->size(), 1u);
+  for (const PathInfo& p : after->paths) {
+    EXPECT_EQ(ph->health(dst->ip(), p.port),
+              PathHealthMonitor::PortHealth::kLive);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-signal cases from the fault model
+// ---------------------------------------------------------------------------
+
+TEST(CloveEcnStarvation, TotalFeedbackLossDoesNotStarveAPath) {
+  // A path was marked congested, then the reverse feedback channel died
+  // entirely (fault kFeedbackLoss p=1). The §3.2 recovery drift must bring
+  // the path's weight back toward uniform from pick_port() time alone —
+  // with no feedback at all, a once-congested path must not stay starved
+  // forever.
+  lb::CloveEcnConfig cfg;
+  cfg.recovery_interval = 1 * sim::kMillisecond;
+  cfg.recovery_rate = 0.05;
+  lb::CloveEcnPolicy pol(cfg, /*seed=*/1);
+
+  const net::IpAddr dst = 99;
+  PathSet ps;
+  for (std::uint16_t i = 0; i < 2; ++i) {
+    PathInfo p;
+    p.port = static_cast<std::uint16_t>(100 + i);
+    p.hops.push_back(PathHop{static_cast<net::IpAddr>(10 + i), 0});
+    p.hops.push_back(PathHop{dst, 0});
+    ps.paths.push_back(p);
+  }
+  pol.on_paths_updated(dst, ps);
+
+  net::CloveFeedback fb;
+  fb.present = true;
+  fb.port = 100;
+  fb.ecn_set = true;
+  sim::Time now = sim::milliseconds(1);
+  for (int i = 0; i < 6; ++i) {
+    pol.on_feedback(dst, fb, now);
+    now += 100 * sim::kMicrosecond;
+  }
+  const auto w_marked = pol.weights(dst);
+  ASSERT_EQ(w_marked.size(), 2u);
+  EXPECT_LT(w_marked[0], 0.3) << "feedback should have cut path 0's weight";
+
+  // Feedback goes completely silent; only data keeps flowing.
+  auto pkt = testutil::make_data(testutil::tuple(1, dst), 1, 1000);
+  for (int i = 0; i < 400; ++i) {
+    now += 1 * sim::kMillisecond;
+    pkt->tcp.seq += 1000;
+    (void)pol.pick_port(*pkt, dst, now);
+  }
+  const auto w_recovered = pol.weights(dst);
+  EXPECT_GT(w_recovered[0], 0.4)
+      << "recovery drift must restore a starved path without feedback";
+}
+
+TEST(PartialDiscovery, ProbeLossMidRoundStillYieldsUsablePaths) {
+  // A fabric link silently eats every packet (fault kLinkDrop p=1) while a
+  // discovery round is in flight: the traces over that link never complete,
+  // but the round must still publish the paths it did reconstruct.
+  sim::Simulator sim;
+  net::Topology topo(sim);
+  net::LeafSpineConfig cfg;
+  cfg.hosts_per_leaf = 2;
+  net::LeafSpine fabric = net::build_leaf_spine(
+      topo, cfg,
+      [&sim](net::Topology& t, const std::string& name, int) -> net::Node* {
+        HypervisorConfig h;
+        h.discovery.probe_timeout = 5 * sim::kMillisecond;
+        return t.add_host<Hypervisor>(name, sim, h,
+                                      std::make_unique<lb::CloveEcnPolicy>());
+      });
+  auto* src = static_cast<Hypervisor*>(fabric.hosts_by_leaf[0][0]);
+  auto* dst = static_cast<Hypervisor*>(fabric.hosts_by_leaf[1][0]);
+
+  // One of L1's four uplinks swallows everything — probes over it are lost
+  // mid-trace (no route change, no error, just silence).
+  fabric.fabric_links[0][0][0]->set_fault_drop(1.0, /*seed=*/42);
+
+  src->start_discovery({dst->ip()});
+  sim.run(sim::milliseconds(20));
+
+  const PathSet* ps = src->discovery().paths(dst->ip());
+  ASSERT_NE(ps, nullptr);
+  EXPECT_GE(src->discovery().rounds_completed(), 1);
+  ASSERT_GE(ps->size(), 1u) << "partial path set must still be usable";
+  // Every published path is fully reconstructed down to the destination —
+  // the half-traced ports over the blackholed link were discarded, not
+  // published as truncated garbage.
+  for (const PathInfo& p : ps->paths) {
+    ASSERT_GE(p.hops.size(), 2u);
+    EXPECT_EQ(p.hops.back().node, dst->ip());
+  }
+}
+
+}  // namespace
+}  // namespace clove::overlay
