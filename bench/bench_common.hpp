@@ -30,6 +30,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/parallel_runner.hpp"
+#include "prof/prof.hpp"
 #include "stats/stats.hpp"
 #include "telemetry/artifact.hpp"
 #include "telemetry/hub.hpp"
@@ -47,6 +48,8 @@ struct SweepResult {
   std::uint64_t fast_retransmits{0};  ///< summed over seeds
   std::uint64_t ecn_marks{0};         ///< summed over seeds
   std::uint64_t drops{0};             ///< summed over seeds
+  std::uint64_t events{0};            ///< simulator events, summed over seeds
+  std::uint64_t queue_hwm{0};         ///< event-queue high water, max over seeds
   std::shared_ptr<stats::FctRecorder> fct;  ///< from the last seed
   /// Registry snapshot from the last seed (only when the hub is enabled).
   telemetry::MetricsSnapshot metrics;
@@ -92,6 +95,40 @@ class Artifact {
                                       start_)
             .count();
     doc_.set("wall_time_s", telemetry::Json(wall_s));
+
+    // Engine observability (DESIGN.md §10): every bench artifact carries the
+    // run's event throughput, queue pressure, and process peak RSS — and,
+    // when a profiler is installed (CLOVE_PROF), its self-profile section
+    // plus flamegraph/Chrome-trace side files.
+    const double rss_mb = prof::peak_rss_mb();
+    telemetry::Json eng = telemetry::Json::object();
+    eng.set("events", telemetry::Json(static_cast<double>(total_events_)));
+    const double eps = wall_s > 0.0 && total_events_ > 0
+                           ? static_cast<double>(total_events_) / wall_s
+                           : 0.0;
+    eng.set("events_per_sec", telemetry::Json(eps));
+    eng.set("queue_hwm",
+            telemetry::Json(static_cast<double>(queue_hwm_)));
+    eng.set("peak_rss_mb", telemetry::Json(rss_mb));
+    if (prof::Profiler* p = prof_session_.profiler()) {
+      std::string err;
+      telemetry::Json sp = telemetry::Json::parse(p->to_json(), &err);
+      if (err.empty()) eng.set("self_profile", std::move(sp));
+      const std::string prof_dir = prof::out_dir_from_env(dir);
+      if (p->mode() == prof::Mode::kFull) {
+        telemetry::write_text_artifact(prof_dir, "PROF_" + name_ + ".folded",
+                                       p->folded());
+        telemetry::write_text_artifact(prof_dir,
+                                       "PROF_" + name_ + "_trace.json",
+                                       p->chrome_trace());
+      }
+    }
+    doc_.set("engine", eng);
+    // Mirror the guard-relevant gauges into `values` so bench_check.py can
+    // hold them to its floor (_per_sec) and ceiling (.rss_mb) rules.
+    if (total_events_ > 0) add_value("engine.events_per_sec", eps);
+    add_value("engine.rss_mb", rss_mb);
+
     doc_.set("points", points_);
     if (values_.size() > 0) doc_.set("values", values_);
     const std::string path = telemetry::write_json_artifact(dir, name_, doc_);
@@ -122,6 +159,9 @@ class Artifact {
           telemetry::Json(static_cast<double>(r.fast_retransmits)));
     p.set("ecn_marks", telemetry::Json(static_cast<double>(r.ecn_marks)));
     p.set("drops", telemetry::Json(static_cast<double>(r.drops)));
+    p.set("events", telemetry::Json(static_cast<double>(r.events)));
+    p.set("queue_hwm", telemetry::Json(static_cast<double>(r.queue_hwm)));
+    note_engine(r.events, r.queue_hwm);
     if (!r.metrics.samples.empty()) {
       p.set("metrics", metrics_digest(r.metrics));
     }
@@ -175,6 +215,22 @@ class Artifact {
   telemetry::Json points_;
   telemetry::Json values_;
   std::chrono::steady_clock::time_point start_;
+  /// Installs a Profiler for the bench's lifetime when CLOVE_PROF is set —
+  /// declaring the Artifact makes the binary profilable, nothing else to do.
+  prof::SessionGuard prof_session_;
+  std::uint64_t total_events_{0};
+  std::uint64_t queue_hwm_{0};
+
+ public:
+  /// Fold one run's engine gauges into the artifact totals. record_point()
+  /// calls this automatically; benches that bypass it (micro-benches with
+  /// hand-rolled loops) call it directly.
+  void note_engine(std::uint64_t events, std::uint64_t queue_hwm) {
+    total_events_ += events;
+    if (queue_hwm > queue_hwm_) queue_hwm_ = queue_hwm;
+  }
+  /// The bench's session profiler, or null when CLOVE_PROF=off.
+  [[nodiscard]] prof::Profiler* profiler() { return prof_session_.profiler(); }
 };
 
 /// Run one (scheme, load) point averaged over `seeds` seeds, without
@@ -200,6 +256,8 @@ inline SweepResult compute_point(harness::ExperimentConfig cfg, double load,
     out.fast_retransmits += r.fast_retransmits;
     out.ecn_marks += r.ecn_marks;
     out.drops += r.drops;
+    out.events += r.events;
+    if (r.queue_hwm > out.queue_hwm) out.queue_hwm = r.queue_hwm;
     out.fct = r.fct;
     out.metrics = std::move(r.metrics);
   }

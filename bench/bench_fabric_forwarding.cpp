@@ -22,6 +22,7 @@
 
 #include "bench_common.hpp"
 #include "net/conga_switch.hpp"
+#include "prof/prof.hpp"
 #include "net/fat_tree.hpp"
 #include "net/letflow_switch.hpp"
 #include "net/packet_pool.hpp"
@@ -377,6 +378,83 @@ void scenario_flight_guard(int rounds) {
   }
 }
 
+/// Price the engine profiler the same way scenario_flight_guard prices the
+/// flight recorder: identical fat-tree traffic under three interleaved arms —
+/// no profiler installed (baseline), CLOVE_PROF=off (also no profiler: the
+/// hooks compile to one thread-local load + branch, so this arm pins "off
+/// costs zero" and doubles as the noise floor), and a kSummary profiler
+/// installed (two clock reads per scope). Interleaving cancels machine drift,
+/// so bench_check.py can hold the off ratio to an absolute 2-point band and
+/// both instrumented arms to zero allocations per packet.
+void scenario_prof_guard(int rounds) {
+  sim::Simulator sim;
+  net::Topology topo(sim);
+  net::FatTreeConfig cfg;
+  cfg.k = 4;
+  net::FatTree ft = net::build_fat_tree(
+      topo, cfg, [](net::Topology& t, const std::string& name, int /*pod*/) {
+        return t.add_host<SinkHost>(name);
+      });
+
+  TrafficDriver driver;
+  const int pods = ft.n_pods();
+  for (int pod = 0; pod < pods; ++pod) {
+    const auto& hosts = ft.hosts_by_pod[static_cast<std::size_t>(pod)];
+    const auto& peers =
+        ft.hosts_by_pod[static_cast<std::size_t>((pod + pods / 2) % pods)];
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      driver.sources.push_back(hosts[i]);
+      driver.dests.push_back(peers[i % peers.size()]);
+    }
+  }
+  driver.batch = batch_from_env();
+  for (int r = 0; r < 8; ++r) driver.run_round(sim);  // warm pools/tables
+
+  // Arm 2's profiler, warmed once so first-use effects (clock calibration,
+  // branch history) don't land inside the measured rounds.
+  prof::Profiler summary_prof(prof::Mode::kSummary);
+  {
+    prof::InstallGuard warm(&summary_prof);
+    driver.run_round(sim);
+  }
+
+  constexpr int kArms = 3;
+  const char* arm_name[kArms] = {"baseline", "prof_off", "prof_summary"};
+  double wall[kArms] = {};
+  std::uint64_t pkts[kArms] = {};
+  std::uint64_t allocs[kArms] = {};
+  for (int r = 0; r < rounds; ++r) {
+    for (int arm = 0; arm < kArms; ++arm) {
+      // Arms 0/1 uninstall whatever the Artifact's session guard installed;
+      // "off" IS the uninstalled state, which is exactly the claim under test.
+      prof::InstallGuard guard(arm == 2 ? &summary_prof : nullptr);
+      const std::uint64_t a0 = alloc_count();
+      const auto t0 = std::chrono::steady_clock::now();
+      pkts[arm] += driver.run_round(sim);
+      const auto t1 = std::chrono::steady_clock::now();
+      wall[arm] += std::chrono::duration<double>(t1 - t0).count();
+      allocs[arm] += alloc_count() - a0;
+    }
+  }
+
+  const double base_rate = static_cast<double>(pkts[0]) / wall[0];
+  bench::Artifact* a = bench::Artifact::current();
+  for (int arm = 0; arm < kArms; ++arm) {
+    const double rate = static_cast<double>(pkts[arm]) / wall[arm];
+    const double ratio = rate / base_rate;
+    const double apk = static_cast<double>(allocs[arm]) /
+                       static_cast<double>(pkts[arm]);
+    std::printf("prof_guard.%-16s %10.3f Mpkts/s   ratio %.4f   "
+                "%.4f allocs/pkt\n",
+                arm_name[arm], rate / 1e6, ratio, apk);
+    if (a != nullptr && arm > 0) {
+      const std::string prefix = std::string("prof_guard.") + arm_name[arm];
+      a->add_value(prefix + "_ratio", ratio);
+      a->add_value(prefix + ".allocs_per_pkt", apk);
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -395,5 +473,6 @@ int main() {
   scenario_letflow(rounds);
   scenario_conga(rounds);
   scenario_flight_guard(rounds);
+  scenario_prof_guard(rounds);
   return 0;
 }

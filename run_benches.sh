@@ -35,6 +35,41 @@ for b in "$repo_root"/build/bench/bench_*; do
   echo
 done
 
+# One engine line per bench artifact (DESIGN.md §10): event throughput,
+# queue pressure, and peak RSS — the gauges the scale guard enforces. Add
+# CLOVE_PROF=summary|full for full time attribution (then see
+# scripts/prof_summarize.py).
+if [ -n "$CLOVE_JSON_OUT" ]; then
+  echo "### engine summary (events/sec, queue hwm, peak RSS per artifact)"
+  python3 - "$CLOVE_JSON_OUT" <<'EOF'
+import json, os, sys
+root = sys.argv[1]
+for name in sorted(os.listdir(root)):
+    if not name.endswith(".json") or name.endswith("_trace.json"):
+        continue
+    try:
+        with open(os.path.join(root, name)) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        continue
+    eng = doc.get("engine") if isinstance(doc, dict) else None
+    if not isinstance(eng, dict):
+        continue
+    line = (f"  {doc.get('bench', name):<22} "
+            f"{eng.get('events', 0):>14,.0f} events"
+            f"  {eng.get('events_per_sec', 0) / 1e6:6.2f} Mev/s"
+            f"  hwm {eng.get('queue_hwm', 0):>6,.0f}"
+            f"  rss {eng.get('peak_rss_mb', 0):6.1f} MB")
+    sp = eng.get("self_profile")
+    if isinstance(sp, dict) and sp.get("scopes"):
+        top = max(sp["scopes"], key=lambda s: s.get("self_ns", 0))
+        line += (f"  top {top.get('name', '?')}"
+                 f" {100.0 * top.get('self_frac', 0.0):.0f}%")
+    print(line)
+EOF
+  echo
+fi
+
 # One-line recovery verdict per scheme from the fault bench's artifact
 # (bench_fault_recovery; see DESIGN.md §8 and scripts/bench_check.py).
 if [ -n "$CLOVE_JSON_OUT" ] && [ -f "$CLOVE_JSON_OUT/BENCH_fault.json" ]; then

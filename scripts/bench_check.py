@@ -14,10 +14,11 @@ carries (stdlib only — this runs in CI before anything is installed):
   tombstone rebuilds, ring growth) that is not a leak of per-packet
   allocations.
 
-* Throughput (``*_per_sec``) and latency (``*.ns_per_*``): fail on a
-  regression beyond TOLERANCE (default 25%, override with
-  ``BENCH_CHECK_TOLERANCE=0.40`` etc. for noisy runners). Throughput must
-  stay above baseline * (1 - tol); latency below baseline / (1 - tol).
+* Throughput (``*_per_sec`` — pkts_per_sec, events_per_sec, …) and latency
+  (``*.ns_per_*``): fail on a regression beyond TOLERANCE (default 25%,
+  override with ``BENCH_CHECK_TOLERANCE=0.40`` etc. for noisy runners).
+  Throughput must stay above baseline * (1 - tol); latency below
+  baseline / (1 - tol).
 
 * Paired ratios (``*_ratio``, e.g. the flight-recorder overhead guard):
   the bench computed these as same-run A/B comparisons, so machine speed
@@ -32,9 +33,21 @@ carries (stdlib only — this runs in CI before anything is installed):
   value < 0 against a recovering baseline is a hard FAIL — the scheme lost
   its ability to recover, which no tolerance forgives.
 
-Metrics present in only one of the two files are reported but non-fatal:
-benches gain and lose counters across PRs, and the baseline is refreshed by
-re-running ./run_benches.sh (artifacts land at the repo root by default).
+* Memory ceilings (``*.rss_mb``, the scale bench and the per-artifact engine
+  gauge): current peak RSS must stay under baseline * (1 + tol) +
+  RSS_SLACK_MB. The absolute slack absorbs allocator/page-size differences
+  between machines; a real leak or a structurally bigger engine blows
+  through both.
+
+Every name that matches no family is printed as an ``[info]`` row, so a
+typo'd metric never silently skips enforcement. Metrics present in only one
+of the two files are reported but non-fatal: benches gain and lose counters
+across PRs, and the baseline is refreshed by re-running ./run_benches.sh
+(artifacts land at the repo root by default).
+
+Env overrides: BENCH_CHECK_TOLERANCE (relative, default 0.25) and
+BENCH_CHECK_RATIO_SLACK (absolute band for ``*_ratio`` rows, default 0.02 —
+raise for cross-topology ratios on unknown hardware).
 
 Exit status: 0 = all checks pass, 1 = at least one regression, 2 = usage or
 parse error.
@@ -47,6 +60,7 @@ import sys
 ALLOC_SLACK = 0.01  # absolute allocs-per-event slack for amortized housekeeping
 RATIO_SLACK = 0.02  # absolute band for same-run A/B overhead ratios
 RECOVERY_SLACK_MS = 50.0  # one FCT bucket of boundary jitter for recovery times
+RSS_SLACK_MB = 32.0  # absolute peak-RSS slack for allocator/page-size drift
 DEFAULT_TOLERANCE = 0.25
 
 
@@ -84,11 +98,59 @@ def is_recovery(name):
     return name.endswith(".recovery_ms")
 
 
+def is_rss(name):
+    return name.endswith(".rss_mb")
+
+
+def check_one(name, b, c, tol, ratio_slack=RATIO_SLACK):
+    """Apply the rule family `name` belongs to.
+
+    Returns (status, detail): status is "ok", "FAIL", or "info" (no rule
+    applies, or the rule declares the row informational). Pure so the rule
+    dispatch is unit-testable (scripts/test_bench_check.py).
+    """
+    if is_alloc(name):
+        limit = b + ALLOC_SLACK
+        return ("FAIL" if c > limit else "ok",
+                f"{c:.6g} (baseline {b:.6g}, limit {limit:.6g})")
+    if is_ratio(name):
+        floor = b - ratio_slack
+        return ("FAIL" if c < floor else "ok",
+                f"{c:.6g} (baseline {b:.6g}, floor {floor:.6g})")
+    if is_throughput(name):
+        floor = b * (1.0 - tol)
+        return ("FAIL" if c < floor else "ok",
+                f"{c:.6g} (baseline {b:.6g}, floor {floor:.6g})")
+    if is_latency(name):
+        ceil = b / (1.0 - tol)
+        return ("FAIL" if c > ceil else "ok",
+                f"{c:.6g} (baseline {b:.6g}, ceiling {ceil:.6g})")
+    if is_rss(name):
+        ceil = b * (1.0 + tol) + RSS_SLACK_MB
+        return ("FAIL" if c > ceil else "ok",
+                f"{c:.6g} (baseline {b:.6g}, ceiling {ceil:.6g})")
+    if is_recovery(name):
+        if b < 0:
+            # Baseline never recovers (ECMP has no edge state to repair);
+            # nothing to hold the current run to.
+            return ("info", f"{c:.6g} (baseline never recovers)")
+        ceil = b * (1.0 + tol) + RECOVERY_SLACK_MS
+        bad = c < 0 or c > ceil
+        shown = "never" if c < 0 else f"{c:.6g}"
+        return ("FAIL" if bad else "ok",
+                f"{shown} (baseline {b:.6g}, ceiling {ceil:.6g})")
+    # No family matched: say so out loud instead of silently skipping, so a
+    # renamed metric is visible in the CI log rather than unenforced.
+    return ("info", f"{c:.6g} (baseline {b:.6g}, no rule; informational)")
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 2
     tol = float(os.environ.get("BENCH_CHECK_TOLERANCE", DEFAULT_TOLERANCE))
+    ratio_slack = float(
+        os.environ.get("BENCH_CHECK_RATIO_SLACK", RATIO_SLACK))
     try:
         base = load_values(argv[1])
         cur = load_values(argv[2])
@@ -103,50 +165,13 @@ def main(argv):
             side = "baseline" if name not in cur else "current"
             print(f"  [skip] {name}: only in {side}")
             continue
-        b, c = base[name], cur[name]
-        if is_alloc(name):
+        status, detail = check_one(name, base[name], cur[name], tol,
+                                   ratio_slack)
+        print(f"  [{status}] {name}: {detail}")
+        if status != "info":
             checked += 1
-            limit = b + ALLOC_SLACK
-            status = "FAIL" if c > limit else "ok"
-            print(f"  [{status}] {name}: {c:.6g} (baseline {b:.6g}, limit {limit:.6g})")
-            if c > limit:
-                failures.append(name)
-        elif is_ratio(name):
-            checked += 1
-            floor = b - RATIO_SLACK
-            status = "FAIL" if c < floor else "ok"
-            print(f"  [{status}] {name}: {c:.6g} (baseline {b:.6g}, floor {floor:.6g})")
-            if c < floor:
-                failures.append(name)
-        elif is_throughput(name):
-            checked += 1
-            floor = b * (1.0 - tol)
-            status = "FAIL" if c < floor else "ok"
-            print(f"  [{status}] {name}: {c:.6g} (baseline {b:.6g}, floor {floor:.6g})")
-            if c < floor:
-                failures.append(name)
-        elif is_latency(name):
-            checked += 1
-            ceil = b / (1.0 - tol)
-            status = "FAIL" if c > ceil else "ok"
-            print(f"  [{status}] {name}: {c:.6g} (baseline {b:.6g}, ceiling {ceil:.6g})")
-            if c > ceil:
-                failures.append(name)
-        elif is_recovery(name):
-            if b < 0:
-                # Baseline never recovers (ECMP has no edge state to repair);
-                # nothing to hold the current run to.
-                print(f"  [info] {name}: {c:.6g} (baseline never recovers)")
-                continue
-            checked += 1
-            ceil = b * (1.0 + tol) + RECOVERY_SLACK_MS
-            bad = c < 0 or c > ceil
-            status = "FAIL" if bad else "ok"
-            shown = "never" if c < 0 else f"{c:.6g}"
-            print(f"  [{status}] {name}: {shown} (baseline {b:.6g}, ceiling {ceil:.6g})")
-            if bad:
-                failures.append(name)
-        # Other values (counters like pool_allocated) are informational.
+        if status == "FAIL":
+            failures.append(name)
 
     if checked == 0:
         print("bench_check: no comparable perf metrics found", file=sys.stderr)

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_check.py's rule dispatch (stdlib unittest only).
+
+Run directly (``python3 scripts/test_bench_check.py``) or via ctest
+(registered as bench_check_unit). These pin the family each metric name
+lands in and the pass/fail arithmetic of every rule — in particular that no
+name ever falls through silently (the historical bug: an unknown suffix was
+skipped without a trace, so a renamed metric lost enforcement invisibly).
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_check as bc  # noqa: E402
+
+
+class TestFamilyPredicates(unittest.TestCase):
+    def test_alloc(self):
+        self.assertTrue(bc.is_alloc("fat_tree_ecmp.allocs_per_pkt"))
+        self.assertTrue(bc.is_alloc("BM_EventQueue.allocs_per_event"))
+        self.assertFalse(bc.is_alloc("fat_tree_ecmp.pkts_per_sec"))
+
+    def test_throughput(self):
+        self.assertTrue(bc.is_throughput("fat_tree_ecmp.pkts_per_sec"))
+        self.assertTrue(bc.is_throughput("scale_k8.events_per_sec"))
+        self.assertTrue(bc.is_throughput("engine.events_per_sec"))
+        self.assertFalse(bc.is_throughput("scale_k8.rss_mb"))
+
+    def test_ratio(self):
+        self.assertTrue(bc.is_ratio("prof_guard.prof_off_ratio"))
+        self.assertTrue(bc.is_ratio("scale.k8_vs_k4_events_ratio"))
+        self.assertFalse(bc.is_ratio("scale.k8_vs_k4_events"))
+
+    def test_latency(self):
+        self.assertTrue(bc.is_latency("fat_tree_ecmp.ns_per_hop"))
+        self.assertFalse(bc.is_latency("x.recovery_ms"))
+
+    def test_rss(self):
+        self.assertTrue(bc.is_rss("scale_k4.rss_mb"))
+        self.assertTrue(bc.is_rss("engine.rss_mb"))
+        self.assertFalse(bc.is_rss("engine.rss"))
+
+    def test_recovery(self):
+        self.assertTrue(bc.is_recovery("CloveECN.recovery_ms"))
+        self.assertFalse(bc.is_recovery("CloveECN.recovery"))
+
+
+class TestCheckOne(unittest.TestCase):
+    TOL = 0.25
+
+    def status(self, name, b, c, **kw):
+        return bc.check_one(name, b, c, self.TOL, **kw)[0]
+
+    def test_alloc_limit(self):
+        n = "x.allocs_per_pkt"
+        self.assertEqual(self.status(n, 0.0, 0.0), "ok")
+        self.assertEqual(self.status(n, 0.0, bc.ALLOC_SLACK), "ok")
+        self.assertEqual(self.status(n, 0.0, bc.ALLOC_SLACK + 1e-6), "FAIL")
+
+    def test_ratio_floor(self):
+        n = "x.prof_off_ratio"
+        self.assertEqual(self.status(n, 1.0, 1.0), "ok")
+        self.assertEqual(self.status(n, 1.0, 1.0 - bc.RATIO_SLACK), "ok")
+        self.assertEqual(self.status(n, 1.0, 0.97), "FAIL")
+
+    def test_ratio_slack_override(self):
+        n = "scale.k8_vs_k4_events_ratio"
+        self.assertEqual(self.status(n, 1.0, 0.9), "FAIL")
+        self.assertEqual(self.status(n, 1.0, 0.9, ratio_slack=0.15), "ok")
+
+    def test_throughput_floor(self):
+        n = "x.events_per_sec"
+        self.assertEqual(self.status(n, 100.0, 80.0), "ok")   # -20% < tol
+        self.assertEqual(self.status(n, 100.0, 74.0), "FAIL")  # -26% > tol
+
+    def test_latency_ceiling(self):
+        n = "x.ns_per_hop"
+        self.assertEqual(self.status(n, 100.0, 130.0), "ok")
+        self.assertEqual(self.status(n, 100.0, 140.0), "FAIL")
+
+    def test_rss_ceiling(self):
+        n = "scale_k8.rss_mb"
+        # ceiling = b * 1.25 + RSS_SLACK_MB
+        self.assertEqual(self.status(n, 100.0, 125.0 + bc.RSS_SLACK_MB), "ok")
+        self.assertEqual(
+            self.status(n, 100.0, 125.0 + bc.RSS_SLACK_MB + 0.5), "FAIL")
+
+    def test_recovery(self):
+        n = "x.recovery_ms"
+        self.assertEqual(self.status(n, -1.0, 500.0), "info")  # never-recover baseline
+        self.assertEqual(self.status(n, 100.0, 150.0), "ok")   # under 125 + 50 slack
+        self.assertEqual(self.status(n, 100.0, 180.0), "FAIL")
+        self.assertEqual(self.status(n, 100.0, -1.0), "FAIL")  # lost recovery
+
+    def test_unknown_name_is_info_not_silent(self):
+        status, detail = bc.check_one("x.pool_allocated", 5.0, 9.0, self.TOL)
+        self.assertEqual(status, "info")
+        self.assertIn("no rule", detail)
+
+    def test_every_scale_bench_value_has_a_rule(self):
+        # The names BENCH_scale commits must all be enforced (not info rows).
+        for name in ("scale_k4.events_per_sec", "scale_k8.events_per_sec",
+                     "scale_k4.rss_mb", "scale_k8.rss_mb",
+                     "scale.k8_vs_k4_events_ratio",
+                     "prof_guard.prof_off_ratio",
+                     "prof_guard.prof_off.allocs_per_pkt"):
+            status, _ = bc.check_one(name, 1.0, 1.0, self.TOL)
+            self.assertEqual(status, "ok", name)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -10,6 +10,8 @@
 #include "lb/presto.hpp"
 #include "net/conga_switch.hpp"
 #include "net/letflow_switch.hpp"
+#include "net/packet_pool.hpp"
+#include "prof/prof.hpp"
 #include "sim/logging.hpp"
 #include "telemetry/artifact.hpp"
 #include "telemetry/hub.hpp"
@@ -327,12 +329,32 @@ ExperimentResult run_fct_experiment(const ExperimentConfig& cfg,
   r.ecn_marks = tb.total_ecn_marks();
   r.drops = tb.total_drops();
   r.events = tb.simulator().events_processed();
+  r.queue_hwm = tb.simulator().queue_high_water();
   r.fct = std::make_shared<stats::FctRecorder>(std::move(ws.fct()));
-  if (telemetry::enabled()) r.metrics = telemetry::hub().metrics().snapshot();
+
+  // Fold this run's engine gauges into the installed profiler (one cold pass
+  // per experiment; the parallel runner later merges per-task profilers).
+  if (auto* p = prof::active()) {
+    p->note_simulator(tb.simulator().events_processed(),
+                      tb.simulator().queue_high_water(),
+                      tb.simulator().queue_slab_capacity());
+    auto& pool = net::PacketPool::of(tb.simulator());
+    p->note_pool(pool.allocated(), pool.reused());
+    for (auto* h : tb.clients()) h->prof_note_tables(*p);
+    for (auto* h : tb.servers()) h->prof_note_tables(*p);
+  }
+
+  if (telemetry::enabled()) {
+    // The snapshot walks every registered metric cell: attribute it to the
+    // telemetry scope so observability overhead shows up in the profile.
+    CLOVE_PROF_SCOPE(prof::kTelemetry);
+    r.metrics = telemetry::hub().metrics().snapshot();
+  }
   if (auto* fr = telemetry::flight()) {
     // Summarize (this runs the conservation audit) and, when the artifact
     // sink is on, dump the raw provenance next to the bench JSON so
     // scripts/trace_summarize.py can explain the run.
+    CLOVE_PROF_SCOPE(prof::kFlight);
     r.flight = fr->summary(tb.simulator().now());
     const std::string dir = telemetry::json_out_dir();
     if (!dir.empty()) {

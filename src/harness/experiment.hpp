@@ -92,6 +92,9 @@ struct ExperimentResult {
   std::uint64_t ecn_marks{0};
   std::uint64_t drops{0};
   std::uint64_t events{0};
+  /// Most events simultaneously pending in the simulator's queue — the
+  /// engine's memory-pressure gauge, fed to clove::prof and bench artifacts.
+  std::uint64_t queue_hwm{0};
   /// Raw recorder for CDFs (Fig. 9) — populated from the last seed run.
   std::shared_ptr<stats::FctRecorder> fct;
   /// Telemetry registry snapshot taken at run end (empty values when the

@@ -1,6 +1,9 @@
 #include "harness/parallel_runner.hpp"
 
 #include <cstdlib>
+#include <memory>
+
+#include "prof/prof.hpp"
 
 namespace clove::harness {
 
@@ -58,10 +61,25 @@ void ParallelRunner::run_all(std::vector<Task> tasks) {
   // byte-identical telemetry snapshots to a parallel one.
   const telemetry::ScopeSettings settings =
       telemetry::current_scope().settings();
+  // When the submitter carries an engine profiler, each task profiles into
+  // its own Profiler (worker threads have none installed) and the results
+  // are merged below in task-index order — deterministic at any thread
+  // count, like the telemetry scopes.
+  prof::Profiler* submitter_prof = prof::active();
+  std::vector<std::unique_ptr<prof::Profiler>> task_profs;
+  if (submitter_prof != nullptr) {
+    task_profs.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      task_profs.push_back(
+          std::make_unique<prof::Profiler>(submitter_prof->mode()));
+    }
+  }
   std::vector<std::exception_ptr> errors(tasks.size());
   auto run_one = [&](std::size_t i) {
     telemetry::Scope scope(settings);
     telemetry::ScopeGuard guard(scope);
+    prof::InstallGuard pguard(submitter_prof != nullptr ? task_profs[i].get()
+                                                        : nullptr);
     try {
       tasks[i]();
     } catch (...) {
@@ -90,6 +108,10 @@ void ParallelRunner::run_all(std::vector<Task> tasks) {
     }
     worker(0);  // the calling thread works too
     for (std::thread& t : pool) t.join();
+  }
+
+  if (submitter_prof != nullptr) {
+    for (const auto& tp : task_profs) submitter_prof->merge_from(*tp);
   }
 
   for (std::exception_ptr& e : errors) {

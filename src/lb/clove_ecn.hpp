@@ -59,6 +59,9 @@ class CloveEcnPolicy : public Policy {
   [[nodiscard]] bool all_paths_congested(net::IpAddr dst,
                                          sim::Time now) const override;
   [[nodiscard]] std::string name() const override { return "clove-ecn"; }
+  [[nodiscard]] overlay::FlowletTracker* flowlet_tracker() override {
+    return &flowlets_;
+  }
 
   /// Current weight vector for a destination (tests / telemetry).
   [[nodiscard]] std::vector<double> weights(net::IpAddr dst) const;

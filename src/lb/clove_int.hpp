@@ -120,6 +120,9 @@ class CloveIntPolicy : public Policy {
   [[nodiscard]] bool wants_int() const override { return true; }
   [[nodiscard]] bool needs_discovery() const override { return true; }
   [[nodiscard]] std::string name() const override { return "clove-int"; }
+  [[nodiscard]] overlay::FlowletTracker* flowlet_tracker() override {
+    return &flowlets_;
+  }
 
   [[nodiscard]] std::vector<double> utilizations(net::IpAddr dst,
                                                  sim::Time now) const {

@@ -116,6 +116,9 @@ class CloveLatencyPolicy : public Policy {
 
   [[nodiscard]] bool needs_discovery() const override { return true; }
   [[nodiscard]] std::string name() const override { return "clove-latency"; }
+  [[nodiscard]] overlay::FlowletTracker* flowlet_tracker() override {
+    return &flowlets_;
+  }
 
  private:
   struct PathState {

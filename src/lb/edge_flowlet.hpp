@@ -37,6 +37,9 @@ class EdgeFlowletPolicy : public Policy {
   }
 
   [[nodiscard]] std::string name() const override { return "edge-flowlet"; }
+  [[nodiscard]] overlay::FlowletTracker* flowlet_tracker() override {
+    return &flowlets_;
+  }
   [[nodiscard]] overlay::FlowletTracker& flowlets() { return flowlets_; }
 
  private:

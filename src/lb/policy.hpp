@@ -4,6 +4,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "overlay/flowlet.hpp"
 #include "overlay/paths.hpp"
 #include "sim/time.hpp"
 
@@ -115,6 +116,14 @@ class Policy {
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The policy's flowlet table, or null for policies that keep none
+  /// (ECMP, Presto flowcells). The engine profiler folds its occupancy and
+  /// probe-length digest into the run's self-profile; never called on the
+  /// datapath.
+  [[nodiscard]] virtual overlay::FlowletTracker* flowlet_tracker() {
+    return nullptr;
+  }
 
   /// The owning hypervisor tags the policy with its host name so policy
   /// trace events (weight updates, flowlet creation) identify their emitter.

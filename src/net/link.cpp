@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/node.hpp"
+#include "prof/prof.hpp"
 #include "telemetry/hub.hpp"
 #include "telemetry/scope.hpp"
 
@@ -110,6 +111,7 @@ void Link::start_tx() {
 }
 
 void Link::on_tx_done() {
+  CLOVE_PROF_SCOPE(prof::kLinkTx);
   if (down_ || !in_flight_) {
     // The link failed during serialization; the bits are lost.
     if (in_flight_) {
@@ -154,6 +156,7 @@ void Link::on_tx_done() {
 }
 
 void Link::deliver_front() {
+  CLOVE_PROF_SCOPE(prof::kLinkDeliver);
   prop_wake_ = sim::EventId{};
   // Drain every packet whose deadline has arrived (several packets can share
   // a delivery instant), then re-arm a single wake for the new front.

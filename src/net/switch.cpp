@@ -1,5 +1,6 @@
 #include "net/switch.hpp"
 
+#include "prof/prof.hpp"
 #include "telemetry/hub.hpp"
 #include "telemetry/scope.hpp"
 
@@ -15,6 +16,7 @@ Switch::Switch(sim::Simulator& sim, NodeId id, std::string name)
 }
 
 void Switch::receive(PacketPtr pkt, int in_port) {
+  CLOVE_PROF_SCOPE(prof::kSwitchForward);
   // TTL processing, as a router would: decrement, and on expiry either
   // answer a traceroute probe or silently drop.
   if (pkt->ttl == 0) {

@@ -71,6 +71,10 @@ class FlowletTracker {
     table_[flow].port = port;
   }
 
+  /// Occupancy / probe-length digest of the backing FlatMap (engine
+  /// profiler's table gauge; see prof::Profiler::note_table).
+  [[nodiscard]] auto probe_stats() const { return table_.probe_stats(); }
+
   void set_gap(sim::Time gap) { gap_ = gap; }
   [[nodiscard]] sim::Time gap() const { return gap_; }
   [[nodiscard]] std::size_t size() const { return table_.size(); }

@@ -1,6 +1,7 @@
 #include "overlay/hypervisor.hpp"
 
 #include "net/link.hpp"
+#include "prof/prof.hpp"
 #include "telemetry/hub.hpp"
 #include "telemetry/scope.hpp"
 
@@ -57,6 +58,18 @@ void Hypervisor::start_discovery(const std::vector<net::IpAddr>& peers) {
   }
 }
 
+void Hypervisor::prof_note_tables(prof::Profiler& p) const {
+  const auto digest = [](const auto& st) {
+    return prof::TableStats{st.size, st.capacity, st.tombstones, st.probe_sum,
+                            st.max_probe};
+  };
+  p.note_table("hyp.endpoints", digest(endpoints_.probe_stats()));
+  p.note_table("hyp.pending_feedback", digest(pending_fb_.probe_stats()));
+  if (auto* fl = policy_->flowlet_tracker()) {
+    p.note_table("lb.flowlets", digest(fl->probe_stats()));
+  }
+}
+
 void Hypervisor::nic_send(net::PacketPtr pkt) {
   if (port_count() == 0) return;  // unwired host (unit tests)
   ports_[0]->enqueue(std::move(pkt));
@@ -67,6 +80,7 @@ void Hypervisor::nic_send(net::PacketPtr pkt) {
 // ---------------------------------------------------------------------------
 
 void Hypervisor::vm_send(net::PacketPtr pkt) {
+  CLOVE_PROF_SCOPE(prof::kHypervisor);
   const net::IpAddr dst = pkt->inner.dst_ip;
   if (dst == ip()) {
     ++stats_.local_deliveries;
@@ -75,7 +89,13 @@ void Hypervisor::vm_send(net::PacketPtr pkt) {
   }
 
   lb::PickInfo pick;
-  const std::uint16_t port = policy_->pick_port(*pkt, dst, sim_.now(), &pick);
+  std::uint16_t port;
+  {
+    // The policy decision is the paper's contribution — attribute it apart
+    // from the rest of the vswitch egress work.
+    CLOVE_PROF_SCOPE(prof::kPolicy);
+    port = policy_->pick_port(*pkt, dst, sim_.now(), &pick);
+  }
   if (auto* fr = telemetry::flight()) {
     fr->on_pick(pkt->uid, id(), name(),
                 {pkt->inner.src_ip, pkt->inner.dst_ip, pkt->inner.src_port,
@@ -206,6 +226,7 @@ void Hypervisor::apply_feedback(net::IpAddr peer, const net::CloveFeedback& fb) 
 // ---------------------------------------------------------------------------
 
 void Hypervisor::receive(net::PacketPtr pkt, int /*in_port*/) {
+  CLOVE_PROF_SCOPE(prof::kHypervisor);
   if (auto* fr = telemetry::flight(); fr != nullptr && fr->wants(pkt->uid)) {
     fr->on_deliver(pkt->uid, id(), name(),
                    pkt->encap.present && pkt->encap.ecn.ce, sim_.now());

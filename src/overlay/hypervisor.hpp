@@ -89,6 +89,12 @@ class Hypervisor : public net::Node, public transport::VmPort {
   /// Path-health monitor; null unless config().path_health.enabled.
   [[nodiscard]] PathHealthMonitor* path_health() { return path_health_.get(); }
 
+  // --- engine profiler (clove::prof) -------------------------------------
+  /// Fold this vswitch's open-addressing tables — endpoint demux, pending
+  /// feedback, and the policy's flowlet table — into `p` (occupancy and
+  /// probe-length digests). Cold path: called once at end of run.
+  void prof_note_tables(prof::Profiler& p) const;
+
   // --- fault-injection hooks (clove::fault) ------------------------------
   /// Drop each arriving feedback relay with probability `p` before the
   /// policy sees it (models a lossy/filtered reverse channel).

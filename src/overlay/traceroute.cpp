@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "prof/prof.hpp"
 #include "sim/logging.hpp"
 
 namespace clove::overlay {
@@ -105,6 +106,7 @@ bool TracerouteDaemon::evict_port(net::IpAddr dst, std::uint16_t port) {
 }
 
 void TracerouteDaemon::on_reply(const net::Packet& pkt) {
+  CLOVE_PROF_SCOPE(prof::kDiscovery);
   if (auto kit = keepalives_.find(pkt.probe.probe_id);
       kit != keepalives_.end()) {
     if (!pkt.probe.from_destination) return;  // mid-path echo: not liveness

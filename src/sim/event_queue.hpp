@@ -52,6 +52,7 @@ class EventQueue {
     n.cancelled = false;
     heap_push(Entry{at, n.seq, slot});
     ++live_;
+    if (live_ > max_live_) max_live_ = live_;
     return EventId{n.seq, slot};
   }
 
@@ -111,6 +112,12 @@ class EventQueue {
   /// Nodes ever allocated in the slab — a high-watermark of concurrently
   /// scheduled events, exposed so tests can pin slot recycling.
   [[nodiscard]] std::size_t slab_capacity() const { return nodes_.size(); }
+
+  /// Most live events ever pending at once (counts cancelled entries out,
+  /// like size()). The engine profiler's queue-pressure gauge: slab_capacity
+  /// tells how much memory the queue ever claimed, this tells how much of it
+  /// was simultaneously meaningful.
+  [[nodiscard]] std::size_t max_live() const { return max_live_; }
 
  private:
   struct Entry {
@@ -192,6 +199,7 @@ class EventQueue {
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_{0};
   std::size_t live_{0};
+  std::size_t max_live_{0};
 };
 
 }  // namespace clove::sim

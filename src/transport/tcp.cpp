@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/prof.hpp"
 #include "sim/logging.hpp"
 #include "telemetry/hub.hpp"
 
@@ -161,6 +162,7 @@ void TcpSender::send_segment(std::uint64_t seq, std::uint32_t len,
 }
 
 void TcpSender::on_packet(net::PacketPtr pkt) {
+  CLOVE_PROF_SCOPE(prof::kTransport);
   if (!pkt->tcp.flags.ack) return;
   on_ack(pkt->tcp);
 }
@@ -501,6 +503,7 @@ TcpReceiver::TcpReceiver(VmPort& port, net::FiveTuple reverse_tuple,
 }
 
 void TcpReceiver::on_packet(net::PacketPtr pkt) {
+  CLOVE_PROF_SCOPE(prof::kTransport);
   if (pkt->payload == 0) return;  // pure control; nothing to ack
 
   const bool ce = pkt->tcp.ce;

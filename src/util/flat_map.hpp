@@ -195,6 +195,34 @@ class FlatMap {
                           slots_.data() + slots_.size());
   }
 
+  /// Occupancy / probe-length digest for the engine profiler (DESIGN.md
+  /// §10). `probe_sum` is the summed displacement of live entries from
+  /// their home slot, so mean probe length = probe_sum / size; `max_probe`
+  /// bounds the worst lookup. O(capacity) full scan — cold path only.
+  struct ProbeStats {
+    std::size_t size{0};
+    std::size_t capacity{0};
+    std::size_t tombstones{0};
+    std::uint64_t probe_sum{0};
+    std::uint64_t max_probe{0};
+  };
+  [[nodiscard]] ProbeStats probe_stats() const {
+    ProbeStats st;
+    st.size = size_;
+    st.capacity = slots_.size();
+    st.tombstones = tombs_;
+    if (slots_.empty()) return st;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      if (s.state != State::kFull) continue;
+      const std::uint64_t d = (i - (hash_(s.key) & mask)) & mask;
+      st.probe_sum += d;
+      if (d > st.max_probe) st.max_probe = d;
+    }
+    return st;
+  }
+
   /// Erase the entry at `it` (tombstone, no relocation); returns the next
   /// live entry.
   iterator erase(iterator it) {

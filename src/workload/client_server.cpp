@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/prof.hpp"
+
 namespace clove::workload {
 
 // ---------------------------------------------------------------------------
@@ -90,6 +92,7 @@ void ClientServerWorkload::schedule_jobs(Connection& conn) {
     ++jobs_total_;
     const sim::Time arrival = t;
     sim_.schedule_at(arrival, [this, cp, size, arrival] {
+      CLOVE_PROF_SCOPE(prof::kWorkload);
       auto done = [this, size, arrival](sim::Time finished) {
         job_done(size, arrival, finished);
       };
@@ -104,6 +107,7 @@ void ClientServerWorkload::schedule_jobs(Connection& conn) {
 
 void ClientServerWorkload::job_done(std::uint64_t size, sim::Time arrival,
                                     sim::Time finished) {
+  CLOVE_PROF_SCOPE(prof::kWorkload);
   fct_.add(size, sim::to_seconds(finished - arrival));
   ++jobs_done_;
   if (on_job) on_job(size, arrival, finished);

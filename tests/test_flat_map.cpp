@@ -205,6 +205,27 @@ TEST(FlatMap, ClearResets) {
   EXPECT_EQ(*m.find(5u), 9);
 }
 
+TEST(FlatMap, ProbeStatsTrackOccupancyAndDisplacement) {
+  FlatMap<std::uint64_t, int> m;
+  auto st = m.probe_stats();
+  EXPECT_EQ(st.size, 0u);
+  EXPECT_EQ(st.probe_sum, 0u);
+
+  for (std::uint64_t k = 0; k < 100; ++k) m[k] = 1;
+  st = m.probe_stats();
+  EXPECT_EQ(st.size, 100u);
+  EXPECT_GE(st.capacity, 100u);
+  // Displacement of every live entry from its home slot is bounded by the
+  // worst probe, and the mean can't exceed the max.
+  EXPECT_GE(st.max_probe * st.size, st.probe_sum);
+  EXPECT_LT(st.max_probe, st.capacity);
+
+  for (std::uint64_t k = 0; k < 50; ++k) m.erase(k);
+  st = m.probe_stats();
+  EXPECT_EQ(st.size, 50u);
+  EXPECT_EQ(st.tombstones, 50u);
+}
+
 struct TrackedValue {
   static int live;
   std::vector<int> payload;

@@ -436,6 +436,23 @@ TEST(EventQueue, CancelledEntriesDoNotBlockSkim) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(EventQueue, MaxLiveTracksHighWaterNotCurrentSize) {
+  // max_live() is the engine's memory-pressure gauge (fed to clove::prof and
+  // bench artifacts as queue_hwm): it must remember the peak even after the
+  // queue drains.
+  EventQueue q;
+  for (int i = 0; i < 8; ++i) q.schedule(i + 1, [] {});
+  EXPECT_EQ(q.max_live(), 8u);
+  while (q.size() > 0) q.run_next();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.max_live(), 8u);
+  // Refilling below the old peak doesn't move it; exceeding it does.
+  for (int i = 0; i < 3; ++i) q.schedule(100 + i, [] {});
+  EXPECT_EQ(q.max_live(), 8u);
+  for (int i = 0; i < 6; ++i) q.schedule(200 + i, [] {});
+  EXPECT_EQ(q.max_live(), 9u);
+}
+
 TEST(EventQueue, MoveOnlyCaptures) {
   // SmallFn accepts move-only captures directly (std::function required a
   // copyable shared_ptr holder).
