@@ -1,6 +1,11 @@
 #!/bin/sh
 # Regenerates every paper figure/table; see README.md for scale knobs.
 #
+# Usage: ./run_benches.sh [filter]
+# With an argument, only benches whose name contains it run — e.g.
+# `./run_benches.sh scale` runs bench_scale alone, `./run_benches.sh fig`
+# every figure bench — and only their artifacts are refreshed in place.
+#
 # Each bench also emits one machine-readable JSON artifact (swept points,
 # fabric counters, telemetry digest). Artifacts land in CLOVE_JSON_OUT,
 # which defaults to the repo root (this script's directory) so the committed
@@ -28,12 +33,23 @@ if [ -n "$CLOVE_JSON_OUT" ]; then
   export CLOVE_JSON_OUT
   echo "### JSON artifacts -> $CLOVE_JSON_OUT"
 fi
+filter=${1:-}
+ran=0
 for b in "$repo_root"/build/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$(basename "$b")" in
+    *"$filter"*) ;;
+    *) continue ;;
+  esac
   echo "### $b"
   "$b"
   echo
+  ran=$((ran + 1))
 done
+if [ "$ran" -eq 0 ]; then
+  echo "no bench matches '$filter' (build/bench/bench_*)" >&2
+  exit 1
+fi
 
 # One engine line per bench artifact (DESIGN.md §10): event throughput,
 # queue pressure, and peak RSS — the gauges the scale guard enforces. Add

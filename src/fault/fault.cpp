@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "net/shard.hpp"
 #include "overlay/hypervisor.hpp"
 #include "sim/logging.hpp"
 #include "telemetry/hub.hpp"
@@ -185,9 +186,17 @@ FaultInjector::FaultInjector(net::Topology& topo, FaultPlan plan)
 
 void FaultInjector::arm() {
   sim::Simulator& sim = topo_.simulator();
+  net::ShardDomain* dom = topo_.shard_domain();
   for (const FaultEvent& ev : plan_.events) {
     const sim::Time at = ev.at > sim.now() ? ev.at : sim.now();
-    sim.schedule_at(at, [this, &ev] { apply(ev); });
+    if (dom != nullptr) {
+      // A fault touches links/switches across shards, so it must run at a
+      // window boundary with every shard quiesced. Registration order
+      // preserves the serial same-timestamp tiebreak.
+      dom->at_global(at, [this, &ev] { apply(ev); });
+    } else {
+      sim.schedule_at(at, [this, &ev] { apply(ev); });
+    }
   }
 }
 
@@ -261,15 +270,26 @@ void FaultInjector::apply(const FaultEvent& ev) {
   }
 }
 
-void FaultInjector::apply_connection(net::Link* fwd, bool down) {
-  net::Link* rev = topo_.reverse_of(fwd);
-  if (down) {
-    fwd->down();
-    if (rev != nullptr) rev->down();
-  } else {
-    fwd->up();
-    if (rev != nullptr) rev->up();
+void FaultInjector::toggle_link(net::Link* l, bool down) {
+  if (l == nullptr) return;
+  if (net::ShardDomain* dom = topo_.shard_domain()) {
+    const int shard = dom->shard_of_sim(&l->simulator());
+    if (telemetry::Scope* sc = dom->scope(shard)) {
+      telemetry::ScopeGuard guard(*sc);
+      down ? l->down() : l->up();
+      return;
+    }
   }
+  if (down) {
+    l->down();
+  } else {
+    l->up();
+  }
+}
+
+void FaultInjector::apply_connection(net::Link* fwd, bool down) {
+  toggle_link(fwd, down);
+  toggle_link(topo_.reverse_of(fwd), down);
   schedule_convergence();
 }
 
@@ -289,14 +309,8 @@ bool FaultInjector::apply_switch(const FaultEvent& ev, bool down) {
   for (const auto& link : topo_.links()) {
     if (link->dst() != sw) continue;
     touched = true;
-    net::Link* rev = topo_.reverse_of(link.get());
-    if (down) {
-      link->down();
-      if (rev != nullptr) rev->down();
-    } else {
-      link->up();
-      if (rev != nullptr) rev->up();
-    }
+    toggle_link(link.get(), down);
+    toggle_link(topo_.reverse_of(link.get()), down);
   }
   if (touched) schedule_convergence();
   return true;
@@ -325,11 +339,20 @@ void FaultInjector::schedule_convergence() {
     if (telemetry::enabled()) recompute_cell_->add();
     return;
   }
-  topo_.simulator().schedule_in(plan_.route_convergence, [this] {
+  auto recompute = [this] {
     topo_.compute_routes();
     ++stats_.route_recomputes;
     if (telemetry::enabled()) recompute_cell_->add();
-  });
+  };
+  if (net::ShardDomain* dom = topo_.shard_domain()) {
+    // Route recomputes read and write switch tables in every shard, so they
+    // are global actions too. We run at a barrier here with clocks aligned,
+    // so now() + convergence is the same deadline the serial path computes.
+    dom->at_global(topo_.simulator().now() + plan_.route_convergence,
+                   std::move(recompute));
+  } else {
+    topo_.simulator().schedule_in(plan_.route_convergence, std::move(recompute));
+  }
 }
 
 }  // namespace clove::fault

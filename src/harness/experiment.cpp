@@ -70,12 +70,16 @@ std::unique_ptr<lb::Policy> Testbed::make_policy() {
       // Ideal static weights for asymmetry are installed after the fabric
       // is built (the spine IPs are unknown at host-creation time).
       return std::make_unique<lb::PrestoPolicy>();
-    case Scheme::kEcmp:
     case Scheme::kMptcp:
+      // MPTCP diversifies via inner tuples over an ECMP edge, but its
+      // subflows pin hard to their hash — so the edge honors path-health
+      // evictions (migrate mode) and re-pins subflows off dead paths.
+      return std::make_unique<lb::EcmpPolicy>(/*migrate_on_evict=*/true);
+    case Scheme::kEcmp:
     case Scheme::kConga:
     case Scheme::kLetFlow:
-      // MPTCP diversifies via inner tuples; CONGA/LetFlow re-route inside
-      // the fabric. All three pair with a plain ECMP edge.
+      // CONGA/LetFlow re-route inside the fabric; plain ECMP is the
+      // never-recovering baseline. All pair with a plain ECMP edge.
       return std::make_unique<lb::EcmpPolicy>();
   }
   return std::make_unique<lb::EcmpPolicy>();

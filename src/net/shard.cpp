@@ -1,0 +1,167 @@
+#include "net/shard.hpp"
+
+#include <algorithm>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet_pool.hpp"
+#include "telemetry/scope.hpp"
+
+namespace clove::net {
+
+void ShardChannel::stage(sim::Time deliver_at, PacketPtr pkt) {
+  Staged& s = staged_.emplace_back();
+  s.at = deliver_at;
+  s.pkt = *pkt;
+  if (auto* fr = telemetry::flight()) {
+    s.has_journey = fr->take_journey(pkt->uid, &s.journey);
+  }
+  // `pkt` returns to the source pool here; the destination shard re-homes
+  // the copy into its own pool at the barrier drain.
+}
+
+void ShardChannel::flush_down(sim::Time now) {
+  if (staged_.empty()) {
+    return;
+  }
+  if (auto* fr = telemetry::flight()) {
+    const std::uint32_t at_node =
+        link_->dst() != nullptr ? link_->dst()->id() : 0;
+    for (Staged& s : staged_) {
+      // The journey left this recorder at stage(); bring it back so the
+      // drop finalizes with its full hop history.
+      if (s.has_journey) fr->adopt_journey(s.journey);
+      fr->on_drop(s.pkt.uid, at_node, link_->name(),
+                  telemetry::JourneyOutcome::kDropLinkDown, now);
+    }
+  }
+  staged_.clear();
+}
+
+ShardDomain::ShardDomain(sim::Simulator& main_sim, int shards,
+                         std::uint64_t seed)
+    : main_(main_sim), n_(shards < 1 ? 1 : shards) {
+  scopes_.assign(static_cast<std::size_t>(n_), nullptr);
+  extra_.reserve(static_cast<std::size_t>(n_ - 1));
+  for (int s = 1; s < n_; ++s) {
+    extra_.push_back(std::make_unique<sim::Simulator>(seed + s));
+  }
+  // Pre-create every pool on this thread (the lazy extension-slot claim must
+  // not race worker threads) and give each a disjoint uid range.
+  for (int s = 0; s < n_; ++s) {
+    PacketPool::of(sim(s)).set_uid_base(kUidStride * (s + 1));
+  }
+}
+
+ShardDomain::~ShardDomain() = default;
+
+int ShardDomain::shard_of_sim(const sim::Simulator* s) const {
+  for (std::size_t i = 0; i < extra_.size(); ++i) {
+    if (extra_[i].get() == s) return static_cast<int>(i) + 1;
+  }
+  return 0;
+}
+
+ShardChannel* ShardDomain::make_channel(Link* link, int src_shard,
+                                        int dst_shard) {
+  channels_.push_back(
+      std::make_unique<ShardChannel>(link, src_shard, dst_shard));
+  return channels_.back().get();
+}
+
+telemetry::FlightRecorder* ShardDomain::flight_of(int shard) const {
+  telemetry::Scope* sc = scopes_[static_cast<std::size_t>(shard)];
+  return sc != nullptr ? sc->flight_recorder() : nullptr;
+}
+
+void ShardDomain::broadcast_route_change() {
+  // The ambient recorder (serial runs, or the coordinator between windows)
+  // plus every registered shard scope, each notified exactly once.
+  std::vector<telemetry::FlightRecorder*> seen;
+  if (auto* fr = telemetry::flight()) {
+    fr->on_route_change();
+    seen.push_back(fr);
+  }
+  for (telemetry::Scope* sc : scopes_) {
+    if (sc == nullptr) continue;
+    auto* fr = sc->flight_recorder();
+    if (fr == nullptr) continue;
+    bool done = false;
+    for (auto* f : seen) done = done || f == fr;
+    if (done) continue;
+    fr->on_route_change();
+    seen.push_back(fr);
+  }
+}
+
+void ShardDomain::at_global(sim::Time at, std::function<void()> fn) {
+  globals_.push_back(GlobalAction{at, global_seq_++, std::move(fn)});
+}
+
+sim::Time ShardDomain::next_global_time() const {
+  sim::Time t = sim::kTimeNever;
+  for (const GlobalAction& g : globals_) t = std::min(t, g.at);
+  return t;
+}
+
+void ShardDomain::run_globals_until(sim::Time t) {
+  for (;;) {
+    std::size_t best = globals_.size();
+    for (std::size_t i = 0; i < globals_.size(); ++i) {
+      if (globals_[i].at > t) continue;
+      if (best == globals_.size() || globals_[i].at < globals_[best].at ||
+          (globals_[i].at == globals_[best].at &&
+           globals_[i].seq < globals_[best].seq)) {
+        best = i;
+      }
+    }
+    if (best == globals_.size()) return;
+    GlobalAction act = std::move(globals_[best]);
+    globals_.erase(globals_.begin() + static_cast<std::ptrdiff_t>(best));
+    // All shards are quiesced up to `t` >= act.at; align their clocks so the
+    // action (and anything it schedules) sees a consistent now().
+    for (int s = 0; s < n_; ++s) sim(s).advance_to(act.at);
+    act.fn();
+  }
+}
+
+void ShardDomain::drain_channels() {
+  for (auto& chp : channels_) {
+    ShardChannel& ch = *chp;
+    if (ch.staged_.empty()) continue;
+    sim::Simulator& dsim = sim(ch.dst_shard_);
+    PacketPool& pool = PacketPool::of(dsim);
+    telemetry::FlightRecorder* fr = flight_of(ch.dst_shard_);
+    Link* link = ch.link_;
+    for (ShardChannel::Staged& s : ch.staged_) {
+      if (s.has_journey && fr != nullptr) fr->adopt_journey(s.journey);
+      PacketPtr p = pool.acquire();
+      *p = s.pkt;  // field copy restores the original uid
+      const sim::Time at = s.at;
+      dsim.schedule_at(at, [link, at, p = std::move(p)]() mutable {
+        link->remote_deliver(std::move(p), at);
+      });
+    }
+    ch.staged_.clear();
+  }
+}
+
+sim::Time ShardDomain::next_event_time() {
+  sim::Time t = sim::kTimeNever;
+  for (int s = 0; s < n_; ++s) t = std::min(t, sim(s).next_event_time());
+  return t;
+}
+
+std::uint64_t ShardDomain::total_events() const {
+  std::uint64_t n = main_.events_processed();
+  for (const auto& s : extra_) n += s->events_processed();
+  return n;
+}
+
+std::size_t ShardDomain::max_queue_hwm() const {
+  std::size_t m = main_.queue_high_water();
+  for (const auto& s : extra_) m = std::max(m, s->queue_high_water());
+  return m;
+}
+
+}  // namespace clove::net

@@ -34,6 +34,16 @@ Hypervisor::Hypervisor(net::NodeId id, std::string name, sim::Simulator& sim,
     path_health_ = std::make_unique<PathHealthMonitor>(
         sim_, this->name(), cfg_.path_health, traceroute_.get(),
         policy_.get());
+    // Fan evictions out to the transport endpoints talking to that peer so
+    // a sender stalled on the dead path retransmits now, not at the RTO.
+    // (Slot order is deterministic: same registration sequence, same layout.)
+    path_health_->on_evict = [this](net::IpAddr dst, std::uint16_t port) {
+      for (auto it = endpoints_.begin(); it != endpoints_.end(); ++it) {
+        if (it.key().dst_ip == dst && it.value() != nullptr) {
+          it.value()->on_path_evicted(dst, port, sim_.now());
+        }
+      }
+    };
   }
   if (cfg_.reorder_buffer) {
     reorder_ = std::make_unique<ReorderBuffer>(

@@ -219,6 +219,7 @@ void PathHealthMonitor::evict(net::IpAddr dst, std::uint16_t port) {
   // daemon republishes the shrunken set (on_paths_updated re-enters this
   // monitor, which keeps the evicted entry alive — see on_paths_updated).
   if (policy_ != nullptr) policy_->on_path_evicted(dst, port, sim_.now());
+  if (on_evict) on_evict(dst, port);
   if (daemon_ != nullptr) daemon_->evict_port(dst, port);
 }
 

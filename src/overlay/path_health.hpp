@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -81,6 +82,12 @@ class PathHealthMonitor {
   [[nodiscard]] const PathHealthConfig& config() const { return cfg_; }
   /// Health of a monitored port; kLive for unknown ports (tests).
   [[nodiscard]] PortHealth health(net::IpAddr dst, std::uint16_t port) const;
+
+  /// Fires on every eviction, after the policy was notified but before the
+  /// daemon republishes the shrunken set. The hypervisor hooks this to fan
+  /// the event out to its transport endpoints (TcpEndpoint::on_path_evicted)
+  /// so stalled senders retransmit immediately instead of waiting the RTO.
+  std::function<void(net::IpAddr dst, std::uint16_t port)> on_evict;
 
  private:
   struct PortState {

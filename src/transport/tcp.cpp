@@ -127,6 +127,9 @@ void TcpSender::try_send() {
   if (cfg_.limited_transmit && !in_recovery_ && dupacks_ > 0) {
     cwnd += static_cast<std::uint64_t>(std::min(dupacks_, 2)) * cfg_.mss;
   }
+  if (snd_nxt_ == snd_una_ && snd_nxt_ < stream_end_) {
+    last_progress_ = port_.simulator().now();  // starting from idle
+  }
   while (snd_nxt_ < stream_end_ && snd_nxt_ - snd_una_ < cwnd) {
     const std::uint32_t len = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(cfg_.mss, stream_end_ - snd_nxt_));
@@ -165,6 +168,23 @@ void TcpSender::on_packet(net::PacketPtr pkt) {
   CLOVE_PROF_SCOPE(prof::kTransport);
   if (!pkt->tcp.flags.ack) return;
   on_ack(pkt->tcp);
+}
+
+void TcpSender::on_path_evicted(net::IpAddr dst_ip, std::uint16_t port,
+                                sim::Time now) {
+  (void)port;  // the policy already dropped it; the re-hash picks a live one
+  if (dst_ip != tuple_.dst_ip) return;
+  if (snd_una_ >= snd_nxt_) return;  // nothing in flight to rescue
+  // Only act on a flow that is actually stalled: the eviction took ~several
+  // probe intervals to fire, so a flow still advancing was not on that path.
+  const sim::Time stall = srtt_ > 0 ? srtt_ : cfg_.initial_rtt;
+  if (now - last_progress_ < stall) return;
+  ++stats_.evict_repins;
+  const std::uint64_t len =
+      std::min<std::uint64_t>(cfg_.mss, snd_nxt_ - snd_una_);
+  send_segment(snd_una_, static_cast<std::uint32_t>(len), /*retransmit=*/true);
+  last_progress_ = now;  // one repin per eviction burst, not per dead port
+  restart_timers();
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +371,7 @@ void TcpSender::on_ack(const net::TcpHeader& hdr) {
   const std::uint64_t acked_bytes = ack - snd_una_;
   stats_.bytes_acked += acked_bytes;
   snd_una_ = ack;
+  last_progress_ = port_.simulator().now();
   dupacks_ = 0;
   rto_backoff_ = 0;
   restart_timers();  // cumulative progress restarts the RTO/TLP clocks

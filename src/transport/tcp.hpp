@@ -47,6 +47,9 @@ struct TcpSenderStats {
   std::uint64_t fast_retransmits{0};
   std::uint64_t timeouts{0};
   std::uint64_t ecn_reductions{0};
+  /// Head retransmits triggered by a path eviction (on_path_evicted) rather
+  /// than by dupacks or the RTO — the edge-recovery fast path.
+  std::uint64_t evict_repins{0};
 };
 
 /// The hypervisor-facing side of a VM vNIC: VM stacks hand packets to it,
@@ -63,6 +66,16 @@ class TcpEndpoint {
  public:
   virtual ~TcpEndpoint() = default;
   virtual void on_packet(net::PacketPtr pkt) = 0;
+  /// The hypervisor's path-health monitor evicted an uplink port toward
+  /// `dst_ip`. The guest stack cannot see overlay paths, so the default is a
+  /// no-op; senders that keep data in flight may use it to cut short a stall
+  /// on the dead path (the edge re-pins the retransmission elsewhere).
+  virtual void on_path_evicted(net::IpAddr dst_ip, std::uint16_t port,
+                               sim::Time now) {
+    (void)dst_ip;
+    (void)port;
+    (void)now;
+  }
 };
 
 /// One-directional TCP byte-stream sender: NewReno congestion control with
@@ -83,6 +96,14 @@ class TcpSender : public TcpEndpoint {
   void write(std::uint64_t bytes, Completion done = nullptr);
 
   void on_packet(net::PacketPtr pkt) override;
+
+  /// Path eviction toward our destination: if data is outstanding and the
+  /// flow has not made progress for ~1 RTT (it was riding the dead path),
+  /// immediately retransmit the head segment instead of waiting out the RTO.
+  /// The edge's policy has already dropped the evicted port, so the
+  /// retransmission hashes onto a live path.
+  void on_path_evicted(net::IpAddr dst_ip, std::uint16_t port,
+                       sim::Time now) override;
 
   [[nodiscard]] const net::FiveTuple& tuple() const { return tuple_; }
   [[nodiscard]] const TcpSenderStats& stats() const { return stats_; }
@@ -166,6 +187,10 @@ class TcpSender : public TcpEndpoint {
   std::deque<SendSample> samples_;
   sim::Time srtt_{0};
   sim::Time rttvar_{0};
+  /// Last time the flow made forward progress (cumulative ACK advanced, or a
+  /// send started from idle). Gates the eviction-triggered retransmit so a
+  /// healthy flow is not repinned spuriously.
+  sim::Time last_progress_{0};
 
   TcpSenderStats stats_;
 

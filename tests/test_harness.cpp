@@ -43,7 +43,9 @@ TEST(Harness, SchemePoliciesWiredCorrectly) {
            {Scheme::kCloveInt, "clove-int"},
            {Scheme::kCloveLatency, "clove-latency"},
            {Scheme::kPresto, "presto"},
-           {Scheme::kMptcp, "ecmp"},   // MPTCP pairs with a plain ECMP edge
+           // MPTCP pairs with the migrate-on-evict ECMP edge so subflows
+           // re-pin away from paths the health monitor declares dead.
+           {Scheme::kMptcp, "ecmp-migrate"},
            {Scheme::kConga, "ecmp"},   // CONGA re-routes inside the fabric
            {Scheme::kLetFlow, "ecmp"}}) {
     Testbed tb(small(c.s));

@@ -7,33 +7,37 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <set>
 
 #include "lb/clove_ecn.hpp"
+#include "lb/ecmp.hpp"
 #include "net/topology.hpp"
 #include "overlay/hypervisor.hpp"
 #include "overlay/path_health.hpp"
 #include "sim/simulator.hpp"
 #include "test_util.hpp"
+#include "transport/tcp.hpp"
 
 namespace clove::overlay {
 namespace {
 
 class PathHealthFixture : public ::testing::Test {
  protected:
-  void build() {
+  void build(std::function<std::unique_ptr<lb::Policy>()> make_policy =
+                 [] { return std::make_unique<lb::CloveEcnPolicy>(); }) {
     topo = std::make_unique<net::Topology>(sim);
     net::LeafSpineConfig cfg;
     cfg.hosts_per_leaf = 2;
     fabric = net::build_leaf_spine(
         *topo, cfg,
-        [this](net::Topology& t, const std::string& name, int) -> net::Node* {
+        [this, &make_policy](net::Topology& t, const std::string& name,
+                             int) -> net::Node* {
           HypervisorConfig h;
           h.discovery.probe_interval = 100 * sim::kMillisecond;
           h.discovery.probe_timeout = 5 * sim::kMillisecond;
           h.path_health.enabled = true;
-          return t.add_host<Hypervisor>(name, sim, h,
-                                        std::make_unique<lb::CloveEcnPolicy>());
+          return t.add_host<Hypervisor>(name, sim, h, make_policy());
         });
     src = static_cast<Hypervisor*>(fabric.hosts_by_leaf[0][0]);
     dst = static_cast<Hypervisor*>(fabric.hosts_by_leaf[1][0]);
@@ -206,6 +210,112 @@ TEST_F(PathHealthFixture, EvictedPortReadmittedAfterHeal) {
     EXPECT_EQ(ph->health(dst->ip(), p.port),
               PathHealthMonitor::PortHealth::kLive);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Eviction -> subflow re-pinning (ECMP migrate mode + TcpSender hook)
+// ---------------------------------------------------------------------------
+
+TEST(EcmpMigrate, EvictedPortAvoidedUntilReadmitted) {
+  lb::EcmpPolicy pol(/*migrate_on_evict=*/true);
+  EXPECT_TRUE(pol.needs_discovery());
+  EXPECT_EQ(pol.name(), "ecmp-migrate");
+
+  const net::IpAddr dst = 42;
+  auto pkt = testutil::make_data(testutil::tuple(1, dst), 1, 1000);
+  const std::uint16_t pinned = pol.pick_port(*pkt, dst, 0);
+  // Per-flow hash: stable until its port dies.
+  EXPECT_EQ(pol.pick_port(*pkt, dst, sim::milliseconds(5)), pinned);
+
+  pol.on_path_evicted(dst, pinned, sim::milliseconds(6));
+  const std::uint16_t moved = pol.pick_port(*pkt, dst, sim::milliseconds(7));
+  EXPECT_NE(moved, pinned) << "flow must re-hash off the evicted port";
+  // Deterministic: the same re-hash every time, and evictions toward a
+  // different destination do not perturb this flow.
+  EXPECT_EQ(pol.pick_port(*pkt, dst, sim::milliseconds(8)), moved);
+  pol.on_path_evicted(dst + 1, moved, sim::milliseconds(9));
+  EXPECT_EQ(pol.pick_port(*pkt, dst, sim::milliseconds(10)), moved);
+
+  // Discovery republishing the port readmits it: back to the base hash.
+  PathSet ps;
+  PathInfo pi;
+  pi.port = pinned;
+  pi.hops.push_back(PathHop{dst, 0});
+  ps.paths.push_back(pi);
+  pol.on_paths_updated(dst, ps);
+  EXPECT_EQ(pol.pick_port(*pkt, dst, sim::milliseconds(11)), pinned);
+}
+
+TEST(EcmpMigrate, PlainBaselineIgnoresEvictions) {
+  lb::EcmpPolicy pol;  // the never-recovering §5 baseline
+  EXPECT_FALSE(pol.needs_discovery());
+  const net::IpAddr dst = 42;
+  auto pkt = testutil::make_data(testutil::tuple(1, dst), 1, 1000);
+  const std::uint16_t pinned = pol.pick_port(*pkt, dst, 0);
+  pol.on_path_evicted(dst, pinned, sim::milliseconds(1));
+  EXPECT_EQ(pol.pick_port(*pkt, dst, sim::milliseconds(2)), pinned);
+}
+
+TEST_F(PathHealthFixture, EvictionRepinsStalledSender) {
+  // Full chain through the path-health state machine: the fabric toward dst
+  // goes dark mid-transfer, the monitor walks live -> suspect -> evicted,
+  // the eviction fans out to the registered sender (via Hypervisor::on_evict)
+  // and the stalled sender retransmits immediately instead of sitting out
+  // its (long) RTO.
+  build([] { return std::make_unique<lb::EcmpPolicy>(true); });
+  discover();
+  auto* ph = src->path_health();
+  ASSERT_NE(ph, nullptr);
+  const PathSet before = *src->discovery().paths(dst->ip());
+  ASSERT_GE(before.size(), 2u);
+
+  transport::TcpConfig tcfg;
+  tcfg.min_rto = 500 * sim::kMillisecond;  // park the RTO out of the way
+  transport::TcpSender tx(
+      *src, net::FiveTuple{src->ip(), dst->ip(), 9000, 80, net::Proto::kTcp},
+      tcfg);
+  src->register_endpoint(tx.tuple(), &tx);
+  tx.write(100'000'000);  // far more than 5 ms of line rate: stays in flight
+  sim.run(sim.now() + sim::milliseconds(5));
+  ASSERT_GT(tx.stats().bytes_acked, 0u) << "transfer must be in flight";
+  ASSERT_GT(tx.bytes_outstanding(), 0u);
+
+  cut_leaf2();
+  for (const PathInfo& p : before.paths) {
+    ph->note_sent(dst->ip(), p.port, sim.now());
+  }
+  sim.run(sim.now() + sim::milliseconds(60));
+
+  ASSERT_EQ(ph->stats().evictions, before.size());
+  EXPECT_GT(tx.bytes_outstanding(), 0u) << "flow should be stalled";
+  EXPECT_GE(tx.stats().evict_repins, 1u)
+      << "eviction must reach the sender and trigger a head retransmit";
+  EXPECT_EQ(tx.stats().timeouts, 0u) << "repin must beat the RTO";
+}
+
+TEST_F(PathHealthFixture, EvictionLeavesHealthySenderAlone) {
+  // Same wiring, but the flow keeps progressing (the fabric stays up): a
+  // hand-driven eviction toward dst must NOT provoke a spurious retransmit.
+  build([] { return std::make_unique<lb::EcmpPolicy>(true); });
+  discover();
+  const PathSet before = *src->discovery().paths(dst->ip());
+
+  transport::TcpSender tx(
+      *src, net::FiveTuple{src->ip(), dst->ip(), 9001, 80, net::Proto::kTcp});
+  src->register_endpoint(tx.tuple(), &tx);
+  bool done = false;
+  tx.write(200'000, [&](sim::Time) { done = true; });
+  sim.run(sim.now() + sim::milliseconds(2));
+  ASSERT_GT(tx.stats().bytes_acked, 0u);
+
+  const std::uint64_t sent_before = tx.stats().packets_sent;
+  tx.on_path_evicted(dst->ip(), before.paths[0].port, sim.now());
+  EXPECT_EQ(tx.stats().evict_repins, 0u)
+      << "a progressing flow was not on the dead path; leave it alone";
+  EXPECT_EQ(tx.stats().packets_sent, sent_before);
+
+  sim.run(sim.now() + sim::seconds(2));
+  EXPECT_TRUE(done);
 }
 
 // ---------------------------------------------------------------------------
