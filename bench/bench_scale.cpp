@@ -30,14 +30,19 @@
 
 #include "bench_common.hpp"
 #include "harness/shard_runner.hpp"
+#include "hybrid/hybrid.hpp"
+#include "lb/ecmp.hpp"
 #include "net/fat_tree.hpp"
 #include "net/packet_pool.hpp"
 #include "net/shard.hpp"
 #include "net/topology.hpp"
+#include "overlay/hypervisor.hpp"
 #include "overlay/paths.hpp"
 #include "prof/prof.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/hub.hpp"
+#include "workload/client_server.hpp"
+#include "workload/flow_size.hpp"
 
 namespace {
 
@@ -238,6 +243,88 @@ struct ShardedFabric {
   }
 };
 
+/// A k-ary fat-tree of Clove hypervisors running the §5 web-search RPC
+/// workload over TCP/ECMP — the elephant-heavy TCP arm the hybrid
+/// flow/packet engine (DESIGN.md §12) exists for. Self-contained so the
+/// off/on runs are a same-process A/B with identical seeds and workloads.
+struct HybridArm {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  std::vector<overlay::Hypervisor*> clients, servers;
+  std::unique_ptr<hybrid::Engine> engine;
+  std::unique_ptr<workload::ClientServerWorkload> wl;
+  double access_bytes_per_sec{0.0};
+
+  HybridArm(int k, bool hybrid_on) {
+    net::FatTreeConfig cfg;
+    cfg.k = k;
+    net::FatTree ft = net::build_fat_tree(
+        topo, cfg, [this](net::Topology& t, const std::string& name, int) {
+          overlay::HypervisorConfig h;
+          h.tcp.ecn = true;
+          return static_cast<net::Node*>(t.add_host<overlay::Hypervisor>(
+              name, sim, h, std::make_unique<lb::EcmpPolicy>()));
+        });
+    const int pods = ft.n_pods();
+    for (int pod = 0; pod < pods; ++pod) {
+      auto& side = pod < pods / 2 ? clients : servers;
+      for (net::Node* h : ft.hosts_by_pod[static_cast<std::size_t>(pod)]) {
+        side.push_back(static_cast<overlay::Hypervisor*>(h));
+      }
+    }
+    // The fat tree is full-bisection, so the clients' access links are the
+    // deliverable cut the workload's offered load is priced against.
+    access_bytes_per_sec = sim::gbps_to_bytes_per_sec(cfg.host_gbps) *
+                           static_cast<double>(clients.size());
+    if (hybrid_on) {
+      hybrid::HybridConfig hc = hybrid::HybridConfig::from_env();
+      hc.enabled = true;
+      engine = std::make_unique<hybrid::Engine>(sim, hc);
+      for (const auto& l : topo.links()) engine->add_link(l.get());
+      for (net::Node* h : topo.hosts()) {
+        static_cast<overlay::Hypervisor*>(h)->set_hybrid(engine.get());
+      }
+    }
+  }
+
+  struct RunResult {
+    double wall_s{0.0};
+    std::uint64_t events{0};
+    std::uint64_t jobs{0};
+    double mice_avg_s{0.0};
+    double mice_p99_s{0.0};
+  };
+
+  RunResult run(const harness::BenchScale& scale) {
+    workload::ClientServerConfig w;
+    w.conns_per_client = scale.conns_per_client;
+    w.jobs_per_conn = scale.jobs_per_conn;
+    w.load = 0.6;
+    w.bisection_bytes_per_sec = access_bytes_per_sec;
+    w.tcp.ecn = true;
+    wl = std::make_unique<workload::ClientServerWorkload>(sim, w, clients,
+                                                          servers);
+    const auto t0 = std::chrono::steady_clock::now();
+    wl->start([this] { sim.stop(); });
+    sim.run(sim::seconds(600.0));
+    const auto t1 = std::chrono::steady_clock::now();
+    RunResult r;
+    r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    r.events = sim.events_processed();
+    r.jobs = wl->jobs_done();
+    r.mice_avg_s = wl->fct().mice().mean();
+    r.mice_p99_s = wl->fct().mice().percentile(99);
+    return r;
+  }
+};
+
+/// min(a/b, b/a): 1.0 = identical, smaller = farther apart. The committed
+/// floor pins how closely the hybrid run must track the packet-exact one.
+double match_ratio(double a, double b) {
+  if (a <= 0.0 || b <= 0.0) return a == b ? 1.0 : 0.0;
+  return std::min(a / b, b / a);
+}
+
 struct PhaseResult {
   double wall_s{0.0};
   double events_per_sec{0.0};
@@ -289,6 +376,10 @@ int main() {
   bench::Artifact artifact("BENCH_scale",
                            "engine scaling ceiling (k=4 vs k=8 fat-tree)",
                            scale);
+  // The CLOVE_SHARDS / CLOVE_HYBRID gated phases make the blended process
+  // rate leg-dependent in CI's matrix; the per-topology scale_k*.events_per_sec
+  // rows are the throughput guard for this bench.
+  artifact.set_mirror_engine_rate(false);
   telemetry::hub().set_enabled(false);
 
   const int rounds = rounds_from_env();
@@ -406,6 +497,35 @@ int main() {
       if (bench::Artifact* a2 = bench::Artifact::current()) {
         a2->add_value("scale.k8_shard4_speedup_ratio", speedup);
       }
+
+      // Per-shard event counts and load balance. The pod partition should
+      // keep every shard near the mean; the committed balance floor
+      // (mean/max, 1.0 = perfectly even) catches a partition regression
+      // that would serialize the conservative windows behind one hot shard.
+      std::uint64_t sum = 0, max_e = 0;
+      for (int s = 0; s < s4.dom.shard_count(); ++s) {
+        const std::uint64_t e = s4.dom.sim(s).events_processed();
+        sum += e;
+        max_e = std::max(max_e, e);
+      }
+      const double mean_e = static_cast<double>(sum) /
+                            static_cast<double>(s4.dom.shard_count());
+      for (int s = 0; s < s4.dom.shard_count(); ++s) {
+        const std::uint64_t e = s4.dom.sim(s).events_processed();
+        std::printf("  shard %d: %10llu events  (%.3f of mean)\n", s,
+                    static_cast<unsigned long long>(e),
+                    static_cast<double>(e) / mean_e);
+      }
+      const double balance =
+          max_e > 0 ? mean_e / static_cast<double>(max_e) : 1.0;
+      std::printf("scale.shard4_balance_ratio %.4f  "
+                  "(mean/max per-shard events; imbalance %.3fx)\n",
+                  balance, max_e > 0
+                               ? static_cast<double>(max_e) / mean_e
+                               : 1.0);
+      if (bench::Artifact* a2 = bench::Artifact::current()) {
+        a2->add_value("scale.shard4_balance_ratio", balance);
+      }
     }
   }
 
@@ -437,6 +557,77 @@ int main() {
       a->add_value("scale_k16.queue_hwm",
                    static_cast<double>(s16.queue_high_water()));
       a->note_engine(ev, s16.queue_high_water());
+    }
+  }
+
+  // Hybrid flow/packet A/B (DESIGN.md §12), gated on CLOVE_HYBRID=on like
+  // the k=16 rows are on CLOVE_SHARDS: the same k=8 web-search/ECMP TCP
+  // workload runs packet-exact and then with elephant middles promoted to
+  // the fluid engine. Same process, same seed, jobs must match exactly;
+  // the speedup and mice-FCT-fidelity rows are the tentpole's contract.
+  if (hybrid::HybridConfig::from_env().enabled) {
+    prof::InstallGuard unprofiled(nullptr);
+    const hybrid::HybridConfig hc = hybrid::HybridConfig::from_env();
+    const auto ws = workload::FlowSizeDistribution::web_search();
+    const double promotable =
+        ws.bytes_fraction_at_least(hc.ramp_bytes + hc.min_remaining);
+    std::printf(
+        "\n== hybrid flow/packet A/B (k=8 fat-tree, web-search, ECMP) ==\n"
+        "promotable byte share (flows >= %llu B): %.1f%%\n",
+        static_cast<unsigned long long>(hc.ramp_bytes + hc.min_remaining),
+        100.0 * promotable);
+
+    HybridArm::RunResult off, on;
+    std::uint64_t promotions = 0, fluid_bytes = 0;
+    // Fold both arms into the artifact's engine gauges: the packet-exact
+    // arm dominates process wall-clock by design, so leaving its events out
+    // would crater the whole-artifact engine.events_per_sec composite that
+    // bench_check floors.
+    {
+      HybridArm arm(8, /*hybrid_on=*/false);
+      off = arm.run(scale);
+      artifact.note_engine(off.events, arm.sim.queue_high_water());
+    }
+    {
+      HybridArm arm(8, /*hybrid_on=*/true);
+      on = arm.run(scale);
+      artifact.note_engine(on.events, arm.sim.queue_high_water());
+      promotions = arm.engine->stats().promotions;
+      fluid_bytes = arm.engine->stats().fluid_bytes;
+    }
+
+    const double speedup = off.wall_s / on.wall_s;
+    const double ev_reduction = static_cast<double>(off.events) /
+                                static_cast<double>(std::max<std::uint64_t>(
+                                    1, on.events));
+    const double mice_match = match_ratio(off.mice_avg_s, on.mice_avg_s);
+    const double jobs_match =
+        match_ratio(static_cast<double>(off.jobs), static_cast<double>(on.jobs));
+    std::printf(
+        "  off: %7.3f s wall  %10llu events  %llu jobs  mice avg %.4fs p99 "
+        "%.4fs\n"
+        "  on:  %7.3f s wall  %10llu events  %llu jobs  mice avg %.4fs p99 "
+        "%.4fs\n"
+        "  %llu promotions, %.1f MB advanced fluidly\n"
+        "hybrid.k8_speedup_ratio         %.3f  (wall-clock, same workload)\n"
+        "hybrid.k8_event_reduction_ratio %.3f  (events skipped by the fluid "
+        "model)\n"
+        "hybrid.mice_fct_match_ratio     %.4f  (1.0 = identical mice avg "
+        "FCT)\n"
+        "hybrid.jobs_match_ratio         %.4f  (must be 1.0)\n",
+        off.wall_s, static_cast<unsigned long long>(off.events),
+        static_cast<unsigned long long>(off.jobs), off.mice_avg_s,
+        off.mice_p99_s, on.wall_s, static_cast<unsigned long long>(on.events),
+        static_cast<unsigned long long>(on.jobs), on.mice_avg_s, on.mice_p99_s,
+        static_cast<unsigned long long>(promotions),
+        static_cast<double>(fluid_bytes) / 1e6, speedup, ev_reduction,
+        mice_match, jobs_match);
+    if (bench::Artifact* a = bench::Artifact::current()) {
+      a->add_value("hybrid.k8_speedup_ratio", speedup);
+      a->add_value("hybrid.k8_event_reduction_ratio", ev_reduction);
+      a->add_value("hybrid.mice_fct_match_ratio", mice_match);
+      a->add_value("hybrid.jobs_match_ratio", jobs_match);
+      a->add_value("hybrid.promotions", static_cast<double>(promotions));
     }
   }
 

@@ -115,6 +115,15 @@ def summarize_profile(tag, sp, top, problems, max_sync_frac=1.0):
             problems.append(
                 f"{tag}: barrier wait {frac:.2f}x dispatch exceeds "
                 f"--max-sync-frac {max_sync_frac:g}")
+    # Hybrid flow/packet engine (CLOVE_HYBRID=on): promotion, the rate
+    # solver, and fluid advancement all bill to one scope. Its share of
+    # dispatch is the price of skipping the elephants' packet events.
+    hybrid_ns = by_name.get("hybrid", {}).get("self_ns", 0)
+    if hybrid_ns:
+        share = 100.0 * hybrid_ns / dispatch_ns if dispatch_ns else 0.0
+        print(f"  hybrid engine: {fmt_ns(hybrid_ns)} self "
+              f"({share:.1f}% of dispatch) "
+              f"x{by_name.get('hybrid', {}).get('count', 0):,.0f}")
     if overflows:
         print(f"  WARNING: {overflows} scope-stack overflows "
               "(attribution incomplete)")

@@ -65,6 +65,16 @@ class TestCheckOne(unittest.TestCase):
         self.assertEqual(self.status(n, 1.0, 1.0 - bc.RATIO_SLACK), "ok")
         self.assertEqual(self.status(n, 1.0, 0.97), "FAIL")
 
+    def test_magnitude_ratio_uses_relative_floor(self):
+        # Far from parity (baseline > 2) the absolute band is meaningless:
+        # the hybrid ~50x speedup must get the relative floor instead.
+        n = "hybrid.k8_speedup_ratio"
+        self.assertEqual(self.status(n, 50.0, 49.0), "ok")   # -2% jitter
+        self.assertEqual(self.status(n, 50.0, 40.0), "ok")   # within tol
+        self.assertEqual(self.status(n, 50.0, 37.0), "FAIL")  # below floor
+        # ...while near-parity ratios keep the tight absolute band.
+        self.assertEqual(self.status(n, 1.0, 0.97), "FAIL")
+
     def test_ratio_slack_override(self):
         n = "scale.k8_vs_k4_events_ratio"
         self.assertEqual(self.status(n, 1.0, 0.9), "FAIL")

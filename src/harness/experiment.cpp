@@ -243,6 +243,19 @@ Testbed::Testbed(const ExperimentConfig& cfg) : cfg_(cfg), sim_(cfg.seed) {
     injector_ = std::make_unique<fault::FaultInjector>(*topo_, std::move(plan));
     injector_->arm();
   }
+
+  // Hybrid flow/packet engine (DESIGN.md §12): register every link so traced
+  // elephant paths resolve, and attach every hypervisor so its senders become
+  // promotion candidates and Clove degrade feedback demotes riders. When the
+  // knob is off (the default) nothing is constructed and the simulation is
+  // bit-identical to the packet-exact datapath.
+  if (cfg_.hybrid.enabled) {
+    hybrid_ = std::make_unique<hybrid::Engine>(sim_, cfg_.hybrid);
+    for (const auto& l : topo_->links()) hybrid_->add_link(l.get());
+    for (net::Node* h : topo_->hosts()) {
+      static_cast<overlay::Hypervisor*>(h)->set_hybrid(hybrid_.get());
+    }
+  }
 }
 
 void Testbed::start_discovery() {

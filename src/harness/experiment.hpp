@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "hybrid/hybrid.hpp"
 #include "net/topology.hpp"
 #include "overlay/hypervisor.hpp"
 #include "stats/stats.hpp"
@@ -77,6 +78,11 @@ struct ExperimentConfig {
   /// Off by default: the symmetric experiments don't need it and it adds
   /// timer events to every run.
   overlay::PathHealthConfig path_health{};
+
+  /// Hybrid flow/packet engine (DESIGN.md §12). Defaults to the CLOVE_HYBRID
+  /// environment (off unless CLOVE_HYBRID=on), so existing entry points are
+  /// bit-identical to the packet-exact simulator.
+  hybrid::HybridConfig hybrid{hybrid::HybridConfig::from_env()};
 };
 
 /// Shared result shape for the FCT experiments.
@@ -143,6 +149,9 @@ class Testbed {
     return injector_.get();
   }
 
+  /// The hybrid flow/packet engine, or null when cfg.hybrid.enabled is off.
+  [[nodiscard]] hybrid::Engine* hybrid() { return hybrid_.get(); }
+
  private:
   std::unique_ptr<lb::Policy> make_policy();
   overlay::HypervisorConfig make_hyp_config();
@@ -155,6 +164,7 @@ class Testbed {
   std::vector<overlay::Hypervisor*> servers_;
   std::unique_ptr<stats::TimeSeriesSet> flight_watch_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<hybrid::Engine> hybrid_;
 };
 
 /// Run the §5/§6 client-server FCT workload for one (scheme, load) point.

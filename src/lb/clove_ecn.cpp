@@ -205,6 +205,8 @@ void CloveEcnPolicy::on_feedback(net::IpAddr dst, const net::CloveFeedback& fb,
   const double share = delta / static_cast<double>(uncongested.size());
   for (PathState* p : uncongested) p->weight += share;
 
+  if (on_port_degraded) on_port_degraded(dst, fb.port);
+
   // Emit the full post-update weight vector (one event per path) so a trace
   // capture shows the WRR mass migrating between paths over time.
   if (telemetry::tracing()) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "net/packet.hpp"
@@ -129,6 +130,13 @@ class Policy {
   /// trace events (weight updates, flowlet creation) identify their emitter.
   void set_owner(std::string owner) { owner_ = std::move(owner); }
   [[nodiscard]] const std::string& owner() const { return owner_; }
+
+  /// Fires when congestion feedback makes the policy reduce the weight of
+  /// `port` toward `dst` — the signal the hybrid flow/packet engine uses to
+  /// demote fluid elephants riding a path the policy is steering away from.
+  /// Set by the owning hypervisor; policies that re-weight on feedback
+  /// (Clove-ECN/INT/latency) invoke it after applying the reduction.
+  std::function<void(net::IpAddr dst, std::uint16_t port)> on_port_degraded;
 
  private:
   std::string owner_;

@@ -73,7 +73,8 @@ void Link::enqueue(PacketPtr pkt) {
   }
   // DCTCP-style marking: mark the arriving packet when the instantaneous
   // queue occupancy is at or above the threshold K (paper §3.2: 20 pkts).
-  if (cfg_.ecn_marking && queue_bytes_ >= cfg_.ecn_threshold_bytes) {
+  if (cfg_.ecn_marking &&
+      queue_bytes_ + fluid_queue_bytes_ >= cfg_.ecn_threshold_bytes) {
     bool fresh_mark = false;
     if (pkt->encap.present && pkt->encap.ecn.ect) {
       fresh_mark = !pkt->encap.ecn.ce;
@@ -106,7 +107,16 @@ void Link::start_tx() {
   // floating-point division in transmission_delay is per-packet hot.
   if (wire != memo_bytes_) {
     memo_bytes_ = wire;
-    memo_delay_ = serialization_delay(wire);
+    if (fluid_rate_ > 0.0) {
+      // Fluid (flow-level) load claims its share of the line rate; real
+      // packets serialize on the residual. Floored so a saturating elephant
+      // slows mice sharing the link rather than stalling them outright.
+      const double nominal = cfg_.rate_bytes_per_sec * capacity_factor_;
+      const double residual = std::max(nominal - fluid_rate_, nominal * 0.05);
+      memo_delay_ = sim::transmission_delay(wire, residual);
+    } else {
+      memo_delay_ = serialization_delay(wire);
+    }
   }
   sim_.schedule_in(memo_delay_, [this] { on_tx_done(); });
 }
@@ -135,11 +145,21 @@ void Link::on_tx_done() {
     cells_.tx_bytes->add(static_cast<std::uint64_t>(wire));
   }
 
+  if (pkt->htrace.active) pkt->htrace.push(id_);
+
   if (cfg_.int_telemetry && pkt->int_stack.enabled) {
-    pkt->int_stack.push(static_cast<float>(dre_.utilization(sim_.now())));
+    if (fluid_rate_ > 0.0) {
+      pkt->int_stack.push(static_cast<float>(utilization()));
+    } else {
+      pkt->int_stack.push(static_cast<float>(dre_.utilization(sim_.now())));
+    }
   }
   if (cfg_.conga_metric && pkt->conga.present) {
-    pkt->conga.ce = std::max(pkt->conga.ce, dre_.quantized(sim_.now()));
+    if (fluid_rate_ > 0.0) {
+      pkt->conga.ce = std::max(pkt->conga.ce, utilization_quantized());
+    } else {
+      pkt->conga.ce = std::max(pkt->conga.ce, dre_.quantized(sim_.now()));
+    }
   }
 
   if (channel_ != nullptr) {
@@ -248,6 +268,7 @@ void Link::down() {
   }
   in_flight_.reset();
   busy_ = false;
+  if (fluid_observer_ != nullptr) fluid_observer_->on_link_changed(*this);
 }
 
 void Link::set_capacity_factor(double factor) {
@@ -261,6 +282,7 @@ void Link::set_capacity_factor(double factor) {
     telemetry::trace(telemetry::Category::kFault, sim_.now(), name_,
                      "link.capacity_factor", "", capacity_factor_);
   }
+  if (fluid_observer_ != nullptr) fluid_observer_->on_link_changed(*this);
 }
 
 void Link::set_fault_drop(double p, std::uint64_t seed) {
@@ -279,6 +301,7 @@ void Link::up() {
     telemetry::trace(telemetry::Category::kTopology, sim_.now(), name_,
                      "link.up");
   }
+  if (fluid_observer_ != nullptr) fluid_observer_->on_link_changed(*this);
 }
 
 }  // namespace clove::net

@@ -42,6 +42,16 @@ struct LinkStats {
   std::int64_t max_queue_bytes{0};
 };
 
+/// Observer for link state changes that alter effective capacity (down/up,
+/// capacity-factor faults). The hybrid flow/packet engine registers one per
+/// link it carries fluid load on, so promoted elephants can be demoted back
+/// to packet level the moment a path-health event touches their path.
+class FluidObserver {
+ public:
+  virtual ~FluidObserver() = default;
+  virtual void on_link_changed(class Link& link) = 0;
+};
+
 /// A unidirectional point-to-point link with a drop-tail, ECN-marking egress
 /// queue, a transmitter that serializes one packet at a time, and a fixed
 /// propagation pipe. Utilization is tracked with a DRE for INT/CONGA.
@@ -68,16 +78,42 @@ class Link {
   [[nodiscard]] const LinkConfig& config() const { return cfg_; }
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
   [[nodiscard]] std::int64_t queue_bytes() const { return queue_bytes_; }
-  [[nodiscard]] double utilization() const { return dre_.utilization(sim_.now()); }
+
+  /// Utilization as congestion-aware schemes observe it: the DRE's measured
+  /// packet utilization plus the analytic share of any fluid (flow-level)
+  /// load the hybrid engine has placed on this link. With no fluid load this
+  /// is exactly the DRE value — bit-identical to the pre-hybrid behavior.
+  [[nodiscard]] double utilization() const {
+    double u = dre_.utilization(sim_.now());
+    if (fluid_rate_ > 0.0) {
+      u += fluid_rate_ / (cfg_.rate_bytes_per_sec * capacity_factor_);
+      if (u > 1.0) u = 1.0;
+    }
+    return u;
+  }
   [[nodiscard]] std::uint8_t utilization_quantized(int bits = 3) const {
+    if (fluid_rate_ > 0.0) {
+      double u = utilization();
+      auto max_q = static_cast<std::uint8_t>((1u << bits) - 1u);
+      auto q = static_cast<std::uint8_t>(u * max_q + 0.5);
+      return q > max_q ? max_q : q;
+    }
     return dre_.quantized(sim_.now(), bits);
+  }
+
+  /// The DRE's packet-only utilization, excluding fluid load. The hybrid
+  /// rate solver uses this to size the residual capacity left for fluid
+  /// flows without double-counting its own contribution.
+  [[nodiscard]] double packet_utilization() const {
+    return dre_.utilization(sim_.now());
   }
 
   /// Whether enqueueing `p` right now would ECN-mark it (the exact marking
   /// condition enqueue() applies). Used by the flight recorder's hop records
   /// at the switch, where the egress decision is made.
   [[nodiscard]] bool would_mark(const Packet& p) const {
-    if (!cfg_.ecn_marking || queue_bytes_ < cfg_.ecn_threshold_bytes) {
+    if (!cfg_.ecn_marking ||
+        queue_bytes_ + fluid_queue_bytes_ < cfg_.ecn_threshold_bytes) {
       return false;
     }
     return p.encap.present ? p.encap.ecn.ect : (!p.encap.present && p.tcp.ect);
@@ -109,6 +145,32 @@ class Link {
   /// makes the drop sequence reproducible per link. p = 0 disables.
   void set_fault_drop(double p, std::uint64_t seed);
   [[nodiscard]] double fault_drop_prob() const { return fault_drop_prob_; }
+
+  // --- hybrid flow/packet engine (clove::hybrid) ---------------------------
+
+  /// Place `rate_bytes_per_sec` of fluid (flow-level) load on this link,
+  /// with `vqueue_bytes` of virtual standing queue (nonzero when the fluid
+  /// load saturates the link, so real packets sharing it keep seeing ECN
+  /// marks). Fluid load slows packet serialization proportionally and is
+  /// folded into utilization()/INT/CONGA signals. Zero/zero restores the
+  /// exact pre-hybrid datapath.
+  void set_fluid(double rate_bytes_per_sec, std::int64_t vqueue_bytes) {
+    if (fluid_rate_ == rate_bytes_per_sec &&
+        fluid_queue_bytes_ == vqueue_bytes) {
+      return;
+    }
+    fluid_rate_ = rate_bytes_per_sec;
+    fluid_queue_bytes_ = vqueue_bytes;
+    memo_bytes_ = -1;  // serialization delay depends on the residual rate
+  }
+  [[nodiscard]] double fluid_rate() const { return fluid_rate_; }
+  [[nodiscard]] std::int64_t fluid_queue_bytes() const {
+    return fluid_queue_bytes_;
+  }
+
+  /// Register an observer notified on capacity-changing events (down, up,
+  /// capacity-factor changes). Null clears it.
+  void set_fluid_observer(FluidObserver* obs) { fluid_observer_ = obs; }
 
   // --- sharded simulation (net::ShardDomain) -------------------------------
 
@@ -164,6 +226,9 @@ class Link {
   double capacity_factor_{1.0};    ///< effective-rate scale (fault injection)
   double fault_drop_prob_{0.0};    ///< per-packet silent-drop probability
   sim::Rng fault_rng_{0};          ///< reseeded by set_fault_drop
+  double fluid_rate_{0.0};         ///< flow-level load (hybrid engine)
+  std::int64_t fluid_queue_bytes_{0};  ///< virtual queue from fluid load
+  FluidObserver* fluid_observer_{nullptr};
 
   telemetry::Dre dre_;
   LinkStats stats_;

@@ -230,6 +230,28 @@ struct Packet {
   sim::Time sent_at{0};        ///< timestamp at first NIC transmission
   std::uint64_t uid{0};        ///< unique id for tracing
 
+  /// Path trace for the hybrid flow/packet engine (clove::hybrid): when a
+  /// flow is a promotion candidate, its next data segment is flagged and
+  /// every Link it serializes on appends its id here. The destination
+  /// hypervisor reports the captured path so the fluid model charges the
+  /// exact links the flowlet actually traversed. Cold — only candidates
+  /// carry it, and it sits past the bookkeeping tail of the struct.
+  struct HybridTrace {
+    static constexpr int kMaxLinks = 12;
+    bool active{false};
+    std::uint8_t count{0};
+    std::array<std::uint32_t, kMaxLinks> links{};
+
+    void push(std::uint32_t link_id) {
+      if (count < kMaxLinks) {
+        links[count] = link_id;
+      }
+      ++count;  // counts past kMaxLinks signal overflow (promotion aborted)
+    }
+    [[nodiscard]] bool overflowed() const { return count > kMaxLinks; }
+  };
+  HybridTrace htrace{};
+
   /// The 5-tuple physical switches hash for ECMP: the outer one when the
   /// packet is encapsulated, else the inner one.
   [[nodiscard]] const FiveTuple& wire_tuple() const {

@@ -60,6 +60,25 @@ Hypervisor::Hypervisor(net::NodeId id, std::string name, sim::Simulator& sim,
 void Hypervisor::register_endpoint(const net::FiveTuple& tuple,
                                    transport::TcpEndpoint* ep) {
   endpoints_[tuple] = ep;
+  if (hybrid_ != nullptr && ep != nullptr && !hybrid_requires_reassembly()) {
+    if (auto* s = ep->as_sender()) hybrid_->adopt(s);
+  }
+}
+
+void Hypervisor::set_hybrid(hybrid::Engine* engine) {
+  hybrid_ = engine;
+  if (hybrid_ == nullptr || hybrid_requires_reassembly()) return;
+  // Clove's weight-degrade feedback becomes a demotion trigger: a promoted
+  // elephant riding a path the policy steers away from must come back to
+  // packet level so the next flowlet decision is real.
+  policy_->on_port_degraded = [this](net::IpAddr dst, std::uint16_t port) {
+    hybrid_->on_port_degraded(ip(), dst, port);
+  };
+  for (auto it = endpoints_.begin(); it != endpoints_.end(); ++it) {
+    if (it.value() != nullptr) {
+      if (auto* s = it.value()->as_sender()) hybrid_->adopt(s);
+    }
+  }
 }
 
 void Hypervisor::start_discovery(const std::vector<net::IpAddr>& peers) {
@@ -275,6 +294,11 @@ void Hypervisor::handle_probe_reply(const net::Packet& pkt) {
 
 void Hypervisor::handle_data(net::PacketPtr pkt) {
   net::IpAddr peer = net::kIpNone;
+  // Hybrid path capture: remember the overlay port before decap wipes it;
+  // the trace itself is reported after feedback processing, below.
+  const bool htrace_active = pkt->htrace.active;
+  const std::uint16_t htrace_port =
+      pkt->encap.present ? pkt->encap.tuple.src_port : 0;
 
   if (pkt->encap.present) {
     peer = pkt->encap.tuple.src_ip;
@@ -371,6 +395,16 @@ void Hypervisor::handle_data(net::PacketPtr pkt) {
       }
     }
     pkt->tcp.flags.ece = true;
+  }
+
+  if (htrace_active) {
+    pkt->htrace.active = false;
+    if (hybrid_ != nullptr) {
+      // Report the links the flagged segment actually serialized on; the
+      // engine promotes its flow here (suspending the sender and syncing
+      // the receiver) before this — now stale — segment is delivered.
+      hybrid_->on_trace(*this, pkt->inner, pkt->htrace, htrace_port);
+    }
   }
 
   if (reorder_ && pkt->payload > 0) {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "hybrid/hybrid.hpp"
 #include "lb/policy.hpp"
 #include "net/node.hpp"
 #include "overlay/path_health.hpp"
@@ -56,7 +57,9 @@ struct HypervisorStats {
 /// policy-chosen source ports, flowlet routing (inside the policy), ECN/INT
 /// feedback interception and relay via STT-context bits, ECN masking, path
 /// discovery probes, and (optionally) Presto flowcell reassembly.
-class Hypervisor : public net::Node, public transport::VmPort {
+class Hypervisor : public net::Node,
+                   public transport::VmPort,
+                   public hybrid::HostAdapter {
  public:
   Hypervisor(net::NodeId id, std::string name, sim::Simulator& sim,
              HypervisorConfig cfg, std::unique_ptr<lb::Policy> policy);
@@ -94,6 +97,25 @@ class Hypervisor : public net::Node, public transport::VmPort {
   /// feedback, and the policy's flowlet table — into `p` (occupancy and
   /// probe-length digests). Cold path: called once at end of run.
   void prof_note_tables(prof::Profiler& p) const;
+
+  // --- hybrid flow/packet engine (clove::hybrid) --------------------------
+  /// Attach the hybrid engine: locally-registered plain senders become
+  /// promotion candidates (reassembly schemes excluded — the reorder buffer
+  /// needs the real segment sequence), and Clove weight-degrade feedback is
+  /// relayed into the engine as a demotion trigger.
+  void set_hybrid(hybrid::Engine* engine);
+  [[nodiscard]] hybrid::Engine* hybrid_engine() const { return hybrid_; }
+
+  // hybrid::HostAdapter (destination-side promotion support)
+  [[nodiscard]] transport::TcpEndpoint* hybrid_find_endpoint(
+      const net::FiveTuple& key) override {
+    auto* ep = endpoints_.find(key);
+    return ep != nullptr ? *ep : nullptr;
+  }
+  [[nodiscard]] bool hybrid_requires_reassembly() const override {
+    return reorder_ != nullptr || policy_->requires_reassembly();
+  }
+  [[nodiscard]] net::IpAddr hybrid_ip() const override { return id(); }
 
   // --- fault-injection hooks (clove::fault) ------------------------------
   /// Drop each arriving feedback relay with probability `p` before the
@@ -137,6 +159,7 @@ class Hypervisor : public net::Node, public transport::VmPort {
   std::unique_ptr<TracerouteDaemon> traceroute_;
   std::unique_ptr<ReorderBuffer> reorder_;
   std::unique_ptr<PathHealthMonitor> path_health_;
+  hybrid::Engine* hybrid_{nullptr};
   double fb_loss_{0.0};       ///< injected feedback-loss probability
   sim::Time fb_delay_{0};     ///< injected feedback delivery delay
   sim::Rng fb_rng_{0};        ///< reseeded by set_feedback_loss

@@ -36,6 +36,7 @@ const char* scope_name(ScopeId id) {
     case kFlight: return "flight";
     case kOther: return "other";
     case kShardSync: return "shard_sync";
+    case kHybrid: return "hybrid";
     default: return "?";
   }
 }

@@ -57,6 +57,7 @@ enum ScopeId : std::uint8_t {
   kFlight,          ///< flight-recorder summary, audits, export
   kOther,           ///< escape hatch (also absorbs stack overflow)
   kShardSync,       ///< sharded runner: barrier wait + coordination
+  kHybrid,          ///< hybrid flow/packet engine: rate solver + fluid advance
   kScopeCount
 };
 

@@ -135,6 +135,18 @@ class Timer {
     });
   }
 
+  /// (Re)arm the timer to fire at absolute time `at` (clamped to now).
+  /// Cancels any pending firing.
+  void schedule_at(Time at) {
+    cancel();
+    if (at < sim_.now()) at = sim_.now();
+    deadline_ = at;
+    id_ = sim_.schedule_at(at, [this] {
+      id_ = EventId{};
+      on_fire_();
+    });
+  }
+
   void cancel() {
     if (id_.valid()) {
       sim_.cancel(id_);

@@ -30,6 +30,10 @@ TcpSender::TcpSender(VmPort& port, net::FiveTuple tuple, TcpConfig cfg)
                  m.counter("tcp.ecn_reductions"), m.histogram("tcp.rtt_us")};
 }
 
+TcpSender::~TcpSender() {
+  if (hook_ != nullptr) hook_->on_sender_gone(*this);
+}
+
 void TcpSender::write(std::uint64_t bytes, Completion done) {
   stream_end_ += bytes;
   if (done) completions_.emplace_back(stream_end_, std::move(done));
@@ -120,6 +124,9 @@ void TcpSender::rtt_sample(sim::Time m) {
 }
 
 void TcpSender::try_send() {
+  // Promoted to the fluid model: the engine advances the stream; no packets
+  // leave until hybrid_resume().
+  if (hybrid_promoted_) return;
   // RFC 3042 limited transmit: the first dupacks each release one new
   // segment so that small windows can still reach the fast-retransmit
   // threshold instead of stalling into an RTO.
@@ -151,6 +158,10 @@ void TcpSender::send_segment(std::uint64_t seq, std::uint32_t len,
   pkt->payload = len;
   pkt->ttl = 64;
   pkt->sent_at = port_.simulator().now();
+  if (trace_next_ && !retransmit && len > 0) {
+    pkt->htrace.active = true;
+    trace_next_ = false;
+  }
   if (cfg_.ecn) {
     pkt->tcp.ect = true;
     if (cwr_pending_) {
@@ -166,6 +177,9 @@ void TcpSender::send_segment(std::uint64_t seq, std::uint32_t len,
 
 void TcpSender::on_packet(net::PacketPtr pkt) {
   CLOVE_PROF_SCOPE(prof::kTransport);
+  // While promoted, stale ACKs for pre-promotion packets still in flight
+  // trickle in below the (already advanced) snd_una; discard them all.
+  if (hybrid_promoted_) return;
   if (!pkt->tcp.flags.ack) return;
   on_ack(pkt->tcp);
 }
@@ -174,6 +188,12 @@ void TcpSender::on_path_evicted(net::IpAddr dst_ip, std::uint16_t port,
                                 sim::Time now) {
   (void)port;  // the policy already dropped it; the re-hash picks a live one
   if (dst_ip != tuple_.dst_ip) return;
+  if (hybrid_promoted_) {
+    // The fluid flow may be riding the evicted path; the engine demotes it
+    // so the next (real) packets re-run the path decision.
+    if (hook_ != nullptr) hook_->on_loss_event(*this);
+    return;
+  }
   if (snd_una_ >= snd_nxt_) return;  // nothing in flight to rescue
   // Only act on a flow that is actually stalled: the eviction took ~several
   // probe intervals to fire, so a flow still advancing was not on that path.
@@ -255,6 +275,7 @@ std::pair<std::uint64_t, std::uint32_t> TcpSender::next_hole() const {
 }
 
 void TcpSender::enter_recovery_sack() {
+  if (hook_ != nullptr) hook_->on_loss_event(*this);
   ++stats_.fast_retransmits;
   if (telemetry::enabled()) cells_.fast_retransmits->add();
   if (telemetry::tracing()) {
@@ -322,6 +343,7 @@ void TcpSender::sack_pump() {
 void TcpSender::ecn_reduce() {
   // RFC3168 / DCTCP: at most one multiplicative reduction per window.
   if (snd_una_ < ecn_reduce_until_) return;
+  if (hook_ != nullptr) hook_->on_loss_event(*this);
   ecn_reduce_until_ = snd_nxt_;
   ++stats_.ecn_reductions;
   if (telemetry::enabled()) cells_.ecn_reductions->add();
@@ -431,6 +453,10 @@ void TcpSender::on_ack(const net::TcpHeader& hdr) {
     done(now);
   }
 
+  if (hook_ != nullptr && !in_recovery_ && dupacks_ == 0 && sacked_.empty()) {
+    hook_->on_clean_ack(*this, acked_bytes);
+  }
+
   if (cfg_.sack) {
     sack_pump();
   } else {
@@ -465,6 +491,7 @@ void TcpSender::handle_dupack() {
     return;
   }
   if (dupacks_ >= cfg_.dupack_threshold) {
+    if (hook_ != nullptr) hook_->on_loss_event(*this);
     ++stats_.fast_retransmits;
     if (telemetry::enabled()) cells_.fast_retransmits->add();
     if (telemetry::tracing()) {
@@ -487,6 +514,7 @@ void TcpSender::handle_dupack() {
 
 void TcpSender::on_rto() {
   if (snd_una_ >= snd_nxt_) return;  // nothing outstanding
+  if (hook_ != nullptr) hook_->on_loss_event(*this);
   ++stats_.timeouts;
   if (telemetry::enabled()) cells_.timeouts->add();
   if (telemetry::tracing()) {
@@ -508,6 +536,74 @@ void TcpSender::on_rto() {
   samples_.clear();
   try_send();
   arm_rto();
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid flow/packet engine bridge (clove::hybrid)
+// ---------------------------------------------------------------------------
+
+void TcpSender::hybrid_suspend() {
+  hybrid_promoted_ = true;
+  trace_next_ = false;
+  // Treat everything already sent as delivered: the engine syncs the
+  // receiver to the same point, so the in-flight packets arrive as stale
+  // duplicates there and their ACKs are discarded here (see on_packet).
+  if (snd_nxt_ > snd_una_) {
+    stats_.bytes_acked += snd_nxt_ - snd_una_;
+    snd_una_ = snd_nxt_;
+  }
+  dupacks_ = 0;
+  in_recovery_ = false;
+  rto_backoff_ = 0;
+  sacked_.clear();
+  hole_retx_.clear();
+  samples_.clear();
+  rto_timer_.cancel();
+  tlp_timer_.cancel();
+  const sim::Time now = port_.simulator().now();
+  last_progress_ = now;
+  while (!completions_.empty() && completions_.front().first <= snd_una_) {
+    auto done = std::move(completions_.front().second);
+    completions_.pop_front();
+    done(now);
+  }
+}
+
+void TcpSender::hybrid_advance(std::uint64_t pos, sim::Time now) {
+  if (!hybrid_promoted_ || pos <= snd_una_) return;
+  if (pos > stream_end_) pos = stream_end_;
+  // Fluid bytes never ride packets, so both send- and ack-side counters
+  // advance here to keep transport_totals conservation intact.
+  stats_.bytes_sent += pos - snd_una_;
+  stats_.bytes_acked += pos - snd_una_;
+  snd_una_ = pos;
+  if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+  last_progress_ = now;
+  while (!completions_.empty() && completions_.front().first <= snd_una_) {
+    auto done = std::move(completions_.front().second);
+    completions_.pop_front();
+    done(now);
+  }
+}
+
+void TcpSender::hybrid_resume(double rate_bytes_per_sec, sim::Time now) {
+  if (!hybrid_promoted_) return;
+  hybrid_promoted_ = false;
+  // Translate the fluid model's final fair-share rate into a window so the
+  // packet-level flow resumes at the bandwidth it was just granted instead
+  // of re-running slow start from scratch.
+  const sim::Time rtt = srtt_ > 0 ? srtt_ : cfg_.initial_rtt;
+  const auto bdp = static_cast<std::uint64_t>(
+      rate_bytes_per_sec * static_cast<double>(rtt) /
+      static_cast<double>(sim::kSecond));
+  cwnd_ = std::clamp<std::uint64_t>(bdp, 2ull * cfg_.mss, cfg_.max_cwnd_bytes);
+  ssthresh_ = cwnd_;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  rto_backoff_ = 0;
+  ecn_reduce_until_ = snd_nxt_;  // stale pre-promotion ECE must not halve us
+  last_progress_ = now;
+  try_send();
 }
 
 // ---------------------------------------------------------------------------
@@ -567,6 +663,18 @@ void TcpReceiver::on_packet(net::PacketPtr pkt) {
 
   ++unacked_segments_;
   send_ack(out_of_order || ecn_transition);
+}
+
+void TcpReceiver::hybrid_sync(std::uint64_t pos) {
+  if (pos <= rcv_nxt_) return;
+  rcv_nxt_ = pos;
+  auto it = ooo_.begin();
+  while (it != ooo_.end() && it->first <= rcv_nxt_) {
+    rcv_nxt_ = std::max(rcv_nxt_, it->second);
+    it = ooo_.erase(it);
+  }
+  last_block_ = net::SackBlock{};
+  if (on_deliver) on_deliver(rcv_nxt_);
 }
 
 void TcpReceiver::send_ack(bool force) {

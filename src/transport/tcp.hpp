@@ -61,11 +61,39 @@ class VmPort {
   virtual sim::Simulator& simulator() = 0;
 };
 
+class TcpSender;
+
+/// Observer installed on a TcpSender by the hybrid flow/packet engine
+/// (clove::hybrid). The sender reports ack-clock events the engine's
+/// promotion predicate and demotion triggers feed on; null hooks cost one
+/// branch on the ack path and nothing else.
+class SenderHook {
+ public:
+  virtual ~SenderHook() = default;
+  /// A cumulative ACK advanced snd_una with a clean scoreboard (no SACK
+  /// blocks, no dupacks, not in recovery): `acked` new bytes confirmed.
+  virtual void on_clean_ack(TcpSender& s, std::uint64_t acked) = 0;
+  /// Any loss/congestion signal: dupack-triggered recovery, RTO, ECN
+  /// reduction, or an eviction-triggered head retransmit.
+  virtual void on_loss_event(TcpSender& s) = 0;
+  /// The sender is being destroyed; drop all references.
+  virtual void on_sender_gone(TcpSender& s) = 0;
+};
+
 /// Anything that consumes inbound inner packets (sender or receiver half).
 class TcpEndpoint {
  public:
   virtual ~TcpEndpoint() = default;
   virtual void on_packet(net::PacketPtr pkt) = 0;
+  /// Downcast hook for the hybrid engine: non-null iff this endpoint is a
+  /// plain TcpSender (MPTCP subflow senders are registered via their own
+  /// endpoints and still return themselves; the engine filters those by
+  /// their coupled-increase hooks instead).
+  virtual TcpSender* as_sender() { return nullptr; }
+  /// Hybrid fast-forward: the fluid model delivered the stream up to byte
+  /// `pos`. Receivers advance their cumulative state; other endpoints
+  /// ignore it.
+  virtual void hybrid_sync(std::uint64_t pos) { (void)pos; }
   /// The hypervisor's path-health monitor evicted an uplink port toward
   /// `dst_ip`. The guest stack cannot see overlay paths, so the default is a
   /// no-op; senders that keep data in flight may use it to cut short a stall
@@ -91,6 +119,7 @@ class TcpSender : public TcpEndpoint {
   using Completion = std::function<void(sim::Time acked_at)>;
 
   TcpSender(VmPort& port, net::FiveTuple tuple, TcpConfig cfg = {});
+  ~TcpSender() override;
 
   /// Append `bytes` to the stream; `done` fires when the last byte is acked.
   void write(std::uint64_t bytes, Completion done = nullptr);
@@ -120,6 +149,42 @@ class TcpSender : public TcpEndpoint {
 
   /// Fires whenever snd_una advances (used by MPTCP's scheduler).
   std::function<void()> on_progress;
+
+  // --- hybrid flow/packet engine (clove::hybrid) ---------------------------
+
+  [[nodiscard]] TcpSender* as_sender() override { return this; }
+
+  /// Install/clear the promotion-engine hook (null detaches).
+  void hybrid_set_hook(SenderHook* hook) { hook_ = hook; }
+
+  /// Whether this sender is currently promoted to the fluid model.
+  [[nodiscard]] bool hybrid_promoted() const { return hybrid_promoted_; }
+
+  /// Flag the next outgoing data segment to capture its link-level path
+  /// (Packet::htrace) so the engine learns which links the current flowlet
+  /// rides before promoting.
+  void hybrid_request_trace() { trace_next_ = true; }
+
+  /// Promote: freeze the packet-level machinery. Everything at or below
+  /// snd_nxt is treated as delivered (the engine syncs the receiver to the
+  /// same point); timers stop, the scoreboard clears, and inbound ACKs for
+  /// the pre-promotion packets still in flight are discarded.
+  void hybrid_suspend();
+
+  /// Fluid delivery advanced the stream to byte `pos` at time `now`: fire
+  /// the completions it crossed. Only valid while promoted.
+  void hybrid_advance(std::uint64_t pos, sim::Time now);
+
+  /// Demote: resume packet-level sending at the fluid model's final rate
+  /// (`rate_bytes_per_sec`), translated into cwnd = rate x srtt. The next
+  /// segments re-enter the network as real packets — a fresh flowlet.
+  void hybrid_resume(double rate_bytes_per_sec, sim::Time now);
+
+  /// First pending job-completion boundary above snd_una (0 when none) —
+  /// the engine schedules exact fluid-advance wakes at these points.
+  [[nodiscard]] std::uint64_t next_completion_boundary() const {
+    return completions_.empty() ? 0 : completions_.front().first;
+  }
 
  private:
   void try_send();
@@ -192,6 +257,11 @@ class TcpSender : public TcpEndpoint {
   /// healthy flow is not repinned spuriously.
   sim::Time last_progress_{0};
 
+  // Hybrid flow/packet engine state.
+  SenderHook* hook_{nullptr};
+  bool hybrid_promoted_{false};
+  bool trace_next_{false};
+
   TcpSenderStats stats_;
 
   // Transport counters, resolved once at construction against the telemetry
@@ -223,6 +293,12 @@ class TcpReceiver : public TcpEndpoint {
   std::function<void(std::uint64_t total_bytes)> on_deliver;
 
   [[nodiscard]] std::uint64_t reorder_events() const { return reorder_events_; }
+
+  /// Hybrid fast-forward: the fluid model delivered everything up to `pos`.
+  /// Jump the cumulative point, prune the reassembly map, and fire
+  /// on_deliver — pre-promotion packets still in flight arrive as stale
+  /// duplicates afterwards and are acked (harmlessly) below rcv_nxt.
+  void hybrid_sync(std::uint64_t pos) override;
 
  private:
   void send_ack(bool force);

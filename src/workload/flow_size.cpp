@@ -40,6 +40,30 @@ std::uint64_t FlowSizeDistribution::sample(sim::Rng& rng) const {
   return points_.back().bytes;
 }
 
+double FlowSizeDistribution::bytes_fraction_at_least(
+    std::uint64_t threshold) const {
+  if (mean_ <= 0.0) return 0.0;
+  const double t = static_cast<double>(threshold);
+  double above = 0.0;
+  double prev_cdf = 0.0;
+  std::uint64_t prev_bytes = 0;
+  for (const Point& p : points_) {
+    const double mass = p.cdf - prev_cdf;
+    const double b0 = static_cast<double>(prev_bytes);
+    const double b1 = static_cast<double>(p.bytes);
+    if (t <= b0) {
+      above += mass * 0.5 * (b0 + b1);
+    } else if (t < b1) {
+      // Sizes are uniform within a segment (sample() interpolates linearly),
+      // so [t, b1) holds (b1-t)/(b1-b0) of the mass at mean (t+b1)/2.
+      above += mass * ((b1 - t) / (b1 - b0)) * 0.5 * (t + b1);
+    }
+    prev_cdf = p.cdf;
+    prev_bytes = p.bytes;
+  }
+  return above / mean_;
+}
+
 FlowSizeDistribution FlowSizeDistribution::web_search() {
   // Long-tailed web-search flow sizes (production measurements published
   // with DCTCP and reused by CONGA/Presto/LetFlow evaluations).

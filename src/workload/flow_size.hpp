@@ -33,6 +33,10 @@ class FlowSizeDistribution {
 
   [[nodiscard]] std::uint64_t sample(sim::Rng& rng) const;
   [[nodiscard]] double mean_bytes() const { return mean_; }
+  /// Fraction of all offered bytes carried by flows of at least `threshold`
+  /// bytes — the share a size-gated optimization (e.g. the hybrid engine's
+  /// elephant promotion) can touch at best.
+  [[nodiscard]] double bytes_fraction_at_least(std::uint64_t threshold) const;
   [[nodiscard]] const std::vector<Point>& points() const { return points_; }
 
  private:
